@@ -1,0 +1,77 @@
+"""Ablation: the BEM's intermediate-object cache (its second function).
+
+§4.3.3 gives the BEM two jobs: managing the DPC, and "caching intermediate
+objects".  §3.2.2's argument for it: the Personal Greeting and Recommended
+Products fragments both derive from one user-profile object; page
+factoring would "require the same call to the user profile repository to
+be repeated".  This bench measures that repetition: profile-table reads
+per request on BooksOnline with the object cache enabled vs disabled.
+"""
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books
+
+REQUESTS = 40
+
+
+def run_books(object_cache_enabled: bool):
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=1024, clock=clock)
+    if not object_cache_enabled:
+        # Disable by making every fetch recompute: clear before each use.
+        original_fetch = bem.objects.fetch
+
+        def no_cache_fetch(key, compute, ttl=None):
+            bem.objects.clear()
+            return original_fetch(key, compute, ttl=ttl)
+
+        bem.objects.fetch = no_cache_fetch
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=1024)
+
+    profiles_table = server.services.db.table("user_profiles")
+    profiles_table.reset_counters()
+    for i in range(REQUESTS):
+        request = HttpRequest(
+            "/catalog.jsp",
+            {"categoryID": ("Fiction", "Science")[i % 2]},
+            user_id="user%03d" % (i % 4),
+            session_id="s%d" % (i % 4),
+        )
+        dpc.process_response(server.handle(request).body)
+    return profiles_table.rows_read, bem.objects.hits, bem.objects.misses
+
+
+def test_object_cache_ablation(benchmark, report):
+    def run_both():
+        return {
+            "enabled": run_books(True),
+            "disabled": run_books(False),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for label in ("enabled", "disabled"):
+        reads, hits, misses = results[label]
+        rows.append(
+            [label, reads, "%.2f" % (reads / REQUESTS), hits, misses]
+        )
+    report(
+        "Object cache ablation: profile-repository reads (%d requests)"
+        % REQUESTS,
+        ["object cache", "profile rows read", "reads/request",
+         "memo hits", "memo misses"],
+        rows,
+    )
+
+    enabled_reads = results["enabled"][0]
+    disabled_reads = results["disabled"][0]
+    # Without memoization the profile repository is re-queried per request.
+    assert disabled_reads > enabled_reads
+    assert results["enabled"][1] > 0  # memo hits occurred

@@ -1,0 +1,65 @@
+"""Ablation: sensitivity of savings to tag size g.
+
+§4.3.3 motivates the integer dpcKey with "it reduces the tag size" — the
+alternative is embedding the full fragmentID (tens of bytes) in every tag.
+This bench quantifies the decision: savings as a function of g, analytically
+and on the wire (via template key-width, which sets the real tag size).
+"""
+
+from repro.analysis import TABLE2, savings_percent
+from repro.core.template import Template, TemplateConfig
+
+#: Tag sizes to sweep: the dpcKey design (10 B) vs fragmentID-ish tags.
+TAG_SIZES = (4, 10, 20, 40, 80, 160)
+
+
+def test_tag_size_sensitivity(benchmark, report):
+    def compute():
+        rows = []
+        for g in TAG_SIZES:
+            params = TABLE2.with_(tag_size=float(g))
+            small_frag = params.with_(fragment_size=256.0)
+            rows.append(
+                (g, savings_percent(params), savings_percent(small_frag))
+            )
+        return rows
+
+    rows = benchmark(compute)
+
+    report(
+        "Ablation: savings (%) vs tag size g",
+        ["tag size (B)", "savings @ s=1KB (%)", "savings @ s=256B (%)"],
+        [[g, "%.2f" % big, "%.2f" % small] for g, big, small in rows],
+    )
+
+    big = [row[1] for row in rows]
+    small = [row[2] for row in rows]
+    assert all(a >= b for a, b in zip(big, big[1:]))    # bigger tags hurt
+    # Small fragments are hurt much more by fat tags.
+    assert (small[0] - small[-1]) > (big[0] - big[-1])
+
+
+def test_key_width_sets_real_wire_tag_size(benchmark, report):
+    """The template layer's actual bytes agree with the analytical g."""
+
+    def measure():
+        rows = []
+        for width in (2, 4, 6, 8):
+            config = TemplateConfig(key_width=width)
+            get_bytes = Template(config=config).get(1).wire_bytes()
+            set_overhead = (
+                Template(config=config).set(1, "x" * 100).wire_bytes() - 100
+            )
+            rows.append((width, config.tag_size, get_bytes, set_overhead))
+        return rows
+
+    rows = benchmark(measure)
+
+    report(
+        "Ablation: key width -> measured tag bytes",
+        ["key width", "configured g", "GET bytes", "SET overhead (2g)"],
+        rows,
+    )
+    for width, g, get_bytes, set_overhead in rows:
+        assert get_bytes == g
+        assert set_overhead == 2 * g

@@ -1,0 +1,49 @@
+"""§7 extension bench: what edge placement buys.
+
+Reverse-proxy mode (the paper's implementation) saves bytes *inside* the
+site; forward-proxy mode saves them across the WAN and delivers pages from
+next to the user — "end users would see dramatic improvements in response
+time".  This bench measures both claims on one workload.
+"""
+
+from repro.harness.edge import compare_deployments
+
+
+def test_edge_placement(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: compare_deployments(requests=300, warmup=80),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    base = results["origin_only"]
+    for name in ("origin_only", "reverse_proxy", "forward_proxy"):
+        r = results[name]
+        rows.append(
+            [
+                name,
+                "%.1f" % (r.mean_response_time * 1000),
+                "%.1fx" % (base.mean_response_time / r.mean_response_time),
+                r.wan_payload_bytes,
+                "%.1f%%" % (100.0 * r.wan_payload_bytes
+                            / base.wan_payload_bytes),
+            ]
+        )
+
+    report(
+        "Edge placement: response time and WAN traffic by deployment",
+        ["deployment", "mean RT (ms)", "speedup", "WAN payload bytes",
+         "vs no cache"],
+        rows,
+    )
+
+    reverse = results["reverse_proxy"]
+    forward = results["forward_proxy"]
+    # Reverse proxy helps (generation savings) but ships full pages on the WAN.
+    assert reverse.mean_response_time < base.mean_response_time
+    assert reverse.wan_payload_bytes >= 0.9 * base.wan_payload_bytes
+    # Forward proxy wins on both axes, decisively.
+    assert forward.mean_response_time < 0.5 * reverse.mean_response_time
+    assert forward.wan_payload_bytes < 0.5 * base.wan_payload_bytes
+    assert forward.measured_hit_ratio > 0.9

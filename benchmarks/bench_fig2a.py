@@ -1,0 +1,25 @@
+"""Figure 2(a): analytical B_C/B_NC vs fragment size (0-5 KB).
+
+Paper shape: ratio > 1 as s_e -> 0, steep drop below 1 KB, flattening
+toward an asymptote of X(1-h) + (1-X) for large fragments.
+"""
+
+from repro.harness.experiments import figure_2a_rows
+
+SIZES = (64, 128, 256, 512, 1024, 1536, 2048, 3072, 4096, 5120)
+
+
+def test_figure_2a(benchmark, report):
+    rows = benchmark(lambda: figure_2a_rows(sizes=SIZES))
+
+    report(
+        "Figure 2(a): Bytes Served Cache/No Cache vs Fragment Size (analytical)",
+        ["fragment size (B)", "B_C/B_NC"],
+        [[row.fragment_size, "%.4f" % row.analytical_ratio] for row in rows],
+    )
+
+    ratios = [row.analytical_ratio for row in rows]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))  # monotone drop
+    assert ratios[-1] < 0.65
+    # Steep early drop: the first halving of the curve happens below 1 KB.
+    assert ratios[0] - ratios[4] > 0.5 * (ratios[0] - ratios[-1])

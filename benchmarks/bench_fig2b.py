@@ -1,0 +1,35 @@
+"""Figure 2(b): analytical savings-in-bytes-served % vs hit ratio.
+
+Paper shape: negative at h=0 (tags are pure overhead), crosses zero at a
+very small hit ratio (~2% with the printed formula; the paper narrates
+1%), then rises monotonically to its maximum at h=1.
+"""
+
+from repro.analysis import TABLE2, breakeven_hit_ratio
+from repro.harness.experiments import figure_2b_rows
+
+HIT_RATIOS = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+              0.9, 1.0)
+
+
+def test_figure_2b(benchmark, report):
+    rows = benchmark(lambda: figure_2b_rows(hit_ratios=HIT_RATIOS))
+
+    report(
+        "Figure 2(b): Savings in Bytes Served (%) vs Hit Ratio (analytical)",
+        ["hit ratio", "savings (%)"],
+        [["%.2f" % row.hit_ratio, "%.2f" % row.analytical_savings_pct]
+         for row in rows],
+    )
+    report(
+        "Break-even hit ratio",
+        ["quantity", "value"],
+        [["h* = 2g/(s+g)", "%.4f" % breakeven_hit_ratio(TABLE2)]],
+    )
+
+    savings = [row.analytical_savings_pct for row in rows]
+    assert savings[0] < 0                               # cost at h=0
+    assert all(a <= b for a, b in zip(savings, savings[1:]))
+    assert savings[-1] == max(savings)                  # peak at h=1
+    # Break-even in the paper's "about 1%" neighbourhood.
+    assert 0.005 < breakeven_hit_ratio(TABLE2) < 0.03

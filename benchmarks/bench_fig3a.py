@@ -1,0 +1,43 @@
+"""Figure 3(a): analytical cost-savings comparison vs cacheability.
+
+Two curves over cacheability 20-100%:
+* network savings (bytes served) — positive and increasing everywhere;
+* firewall savings (scan cost, Result 1) — negative at low cacheability,
+  crossing zero mid-range (the extra DPC tag scan must be paid for).
+"""
+
+from repro.analysis import TABLE2, scan_breakeven_cacheability
+from repro.harness.experiments import figure_3a_rows
+
+CACHEABILITIES = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_figure_3a(benchmark, report):
+    rows = benchmark(lambda: figure_3a_rows(cacheabilities=CACHEABILITIES))
+
+    report(
+        "Figure 3(a): Cost Savings (%) vs Cacheability (analytical)",
+        ["cacheability", "network savings (%)", "firewall savings (%)"],
+        [
+            [
+                "%.0f%%" % (row.cacheability * 100),
+                "%.2f" % row.analytical_network_savings_pct,
+                "%.2f" % row.analytical_firewall_savings_pct,
+            ]
+            for row in rows
+        ],
+    )
+    crossover = scan_breakeven_cacheability(TABLE2)
+    report(
+        "Result 1 break-even",
+        ["quantity", "value"],
+        [["cacheability where B_NC = 2 B_C", "%.1f%%" % (crossover * 100)]],
+    )
+
+    network = [row.analytical_network_savings_pct for row in rows]
+    firewall = [row.analytical_firewall_savings_pct for row in rows]
+    assert all(value > 0 for value in network)
+    assert firewall[0] < 0 < firewall[-1]
+    assert all(a <= b for a, b in zip(network, network[1:]))
+    # Network savings exceed 70% at full cacheability (abstract's claim).
+    assert network[-1] > 70.0

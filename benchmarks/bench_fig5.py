@@ -1,0 +1,56 @@
+"""Figure 5: savings in bytes served (%) vs hit ratio — analytical AND
+experimental.
+
+Paper shape: the experimental curve tracks the analytical one from below,
+with the gap growing as h rises — "as more content is served from cache,
+response size decreases, yet the network protocol message size remains
+constant", so the constant per-message overhead looms larger.
+"""
+
+from repro.harness.experiments import figure_5_rows
+
+HIT_RATIOS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+REQUESTS = 1200
+WARMUP = 300
+
+
+def test_figure_5(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: figure_5_rows(
+            hit_ratios=HIT_RATIOS, requests=REQUESTS, warmup=WARMUP
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        "Figure 5: Savings in Bytes Served (%) vs Hit Ratio",
+        [
+            "target h",
+            "measured h",
+            "analytical (%)",
+            "experimental payload (%)",
+            "experimental wire (%)",
+        ],
+        [
+            [
+                "%.1f" % row.hit_ratio,
+                "%.3f" % row.measured_hit_ratio,
+                "%.2f" % row.analytical_savings_pct,
+                "%.2f" % row.experimental_savings_pct,
+                "%.2f" % row.experimental_wire_savings_pct,
+            ]
+            for row in rows
+        ],
+    )
+
+    wire = [row.experimental_wire_savings_pct for row in rows]
+    analytical = [row.analytical_savings_pct for row in rows]
+    # Savings increase with hit ratio in both views.
+    assert all(a <= b + 2.0 for a, b in zip(wire, wire[1:]))
+    # The experimental (wire) curve sits below the analytical curve once
+    # caching starts paying off, and the gap grows with h.
+    assert wire[-1] < analytical[-1]
+    gap_mid = analytical[2] - wire[2]
+    gap_end = analytical[-1] - wire[-1]
+    assert gap_end > gap_mid - 0.5

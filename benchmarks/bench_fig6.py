@@ -1,0 +1,54 @@
+"""Figure 6: savings vs cacheability — analytical AND experimental, plus
+the *measured* firewall-savings curve (Result 1 on real scan counts).
+
+Paper shape: experimental network savings track the analytical curve
+(slightly below it, due to protocol headers); firewall savings cross from
+negative to positive as cacheability rises.
+"""
+
+from repro.harness.experiments import figure_6_rows
+
+CACHEABILITIES = (0.25, 0.5, 0.75, 1.0)
+REQUESTS = 1200
+WARMUP = 300
+
+
+def test_figure_6(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: figure_6_rows(
+            cacheabilities=CACHEABILITIES, requests=REQUESTS, warmup=WARMUP
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        "Figure 6: Cost Savings (%) vs Cacheability",
+        [
+            "cacheability",
+            "analytical network (%)",
+            "experimental network (%)",
+            "analytical firewall (%)",
+            "measured firewall (%)",
+        ],
+        [
+            [
+                "%.0f%%" % (row.cacheability * 100),
+                "%.2f" % row.analytical_network_savings_pct,
+                "%.2f" % row.experimental_network_savings_pct,
+                "%.2f" % row.analytical_firewall_savings_pct,
+                "%.2f" % row.experimental_firewall_savings_pct,
+            ]
+            for row in rows
+        ],
+    )
+
+    network = [row.experimental_network_savings_pct for row in rows]
+    firewall = [row.experimental_firewall_savings_pct for row in rows]
+    assert all(a < b for a, b in zip(network, network[1:]))  # increasing
+    assert firewall[0] < 0 < firewall[-1]                    # crossover
+    for row in rows:
+        assert (
+            abs(row.experimental_network_savings_pct
+                - row.analytical_network_savings_pct) < 10.0
+        )

@@ -1,0 +1,89 @@
+"""§7 extension bench: forward-proxy scaling — routing, coherency traffic,
+and hit ratios as the edge count grows.
+
+The paper's open issues for edge deployment are request routing, cache
+coherency, cache management, and scalability.  This bench runs the
+reproduction's answers (session-affinity consistent hashing + per-proxy
+directories fed by the shared trigger bus) at 1/2/4/8 edges and reports:
+
+* group hit ratio (affinity keeps per-user fragments warm at one edge;
+  shared fragments are duplicated per edge, so more edges -> more cold
+  misses on shared content);
+* coherency messages per data update (linear in edge count — the
+  scalability cost the paper warns about).
+"""
+
+import random
+
+from repro.appserver import HttpRequest
+from repro.core.coherency import ProxyGroup
+from repro.core.routing import RequestRouter
+from repro.network.latency import FREE
+from repro.sites import books
+
+EDGE_COUNTS = (1, 2, 4, 8)
+REQUESTS = 150
+UPDATES = 10
+
+
+def run_deployment(edge_count: int, seed: int = 31):
+    group = ProxyGroup(capacity_per_proxy=1024)
+    router = RequestRouter()
+    for i in range(edge_count):
+        name = "edge-%d" % i
+        group.add_proxy(name)
+        router.add_proxy(name)
+    services = books.build_services()
+    group.attach_database(services.db.bus)
+    servers = {}
+    for name in group.names():
+        bem, _ = group.member(name)
+        servers[name] = books.build_server(
+            services=services, clock=group.clock, bem=bem, cost_model=FREE
+        )
+
+    rng = random.Random(seed)
+    messages_before = group.coherency_messages
+    for i in range(REQUESTS):
+        user = "user%03d" % rng.randrange(10) if rng.random() < 0.7 else None
+        request = HttpRequest(
+            "/catalog.jsp",
+            {"categoryID": rng.choice(["Fiction", "Science", "History"])},
+            user_id=user,
+            session_id="sess-%s" % (user or "anon-%d" % rng.randrange(6)),
+        )
+        proxy = router.route(request.user_id, request.session_id)
+        _, dpc = group.member(proxy)
+        dpc.process_response(servers[proxy].handle(request).body)
+        if i % (REQUESTS // UPDATES) == 0:
+            services.db.table(books.PRODUCTS_TABLE).update(
+                {"price": round(rng.uniform(1, 99), 2)},
+                key="FIC-%03d" % rng.randrange(4),
+            )
+    coherency = group.coherency_messages - messages_before
+    return group.group_hit_ratio(), coherency
+
+
+def test_forward_proxy_scaling(benchmark, report):
+    def run_all():
+        return {n: run_deployment(n) for n in EDGE_COUNTS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report(
+        "Forward-proxy scaling (%d requests, %d data updates)"
+        % (REQUESTS, UPDATES + 1),
+        ["edges", "group hit ratio", "coherency messages"],
+        [
+            [n, "%.4f" % results[n][0], results[n][1]]
+            for n in EDGE_COUNTS
+        ],
+    )
+
+    # Coherency fan-out is linear in the edge count.
+    per_edge = {n: results[n][1] / n for n in EDGE_COUNTS}
+    base = per_edge[1]
+    for n in EDGE_COUNTS:
+        assert abs(per_edge[n] - base) < 1e-9
+    # Splitting the cache across more edges cannot raise the hit ratio.
+    assert results[8][0] <= results[1][0] + 0.02

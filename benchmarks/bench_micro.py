@@ -1,0 +1,107 @@
+"""Microbenchmarks: the hot paths of the DPC/BEM machinery.
+
+§7's scalability requirement: "the data structures and algorithms
+underlying the system must scale, both in time and space requirements."
+These measure the per-operation costs that bound a deployment's throughput:
+the KMP tag scan, template parse+assembly, directory probes, and the
+database's indexed lookups.
+"""
+
+import random
+
+from repro.core.bem import BackEndMonitor
+from repro.core.cache_directory import CacheDirectory
+from repro.core.dpc import DynamicProxyCache
+from repro.core.fragments import FragmentID, FragmentMetadata
+from repro.core.scanner import TagScanner
+from repro.core.template import SENTINEL, Template
+from repro.database import Database, schema
+from repro.network.clock import SimulatedClock
+
+
+def test_kmp_scan_throughput(benchmark):
+    """Scanning a 64 KB tag-free response for the sentinel."""
+    scanner = TagScanner(SENTINEL)
+    text = ("The quick brown fox jumps over the lazy dog. " * 1456)[:65536]
+    result = benchmark(scanner.positions, text)
+    assert result == []
+
+
+def test_template_parse_and_assemble(benchmark):
+    """A warm 20-GET template through parse + slot splicing."""
+    dpc = DynamicProxyCache(capacity=64)
+    content = "y" * 1024
+    cold = Template()
+    warm = Template()
+    for key in range(20):
+        cold.set(key, content)
+        warm.get(key)
+    dpc.process_response(cold.serialize())
+    wire = warm.serialize()
+
+    page = benchmark(dpc.process_response, wire)
+    assert page.page_bytes == 20 * 1024
+
+
+def test_directory_probe(benchmark):
+    """One warm cache-directory lookup (the per-block hit cost)."""
+    directory = CacheDirectory(4096)
+    ids = [FragmentID.create("f", {"i": i}) for i in range(1000)]
+    for fragment_id in ids:
+        directory.insert(fragment_id, FragmentMetadata(), 100, 0.0)
+    probe = ids[123]
+
+    entry = benchmark(directory.lookup, probe, 1.0)
+    assert entry is not None
+
+
+def test_bem_block_hit_path(benchmark):
+    """The full process_block hit path (probe + GET emission)."""
+    bem = BackEndMonitor(capacity=1024)
+    fragment_id = FragmentID.create("hot", {"k": 1})
+    meta = FragmentMetadata()
+    bem.process_block(fragment_id, meta, lambda: "x" * 512)
+
+    instruction = benchmark(bem.process_block, fragment_id, meta,
+                            lambda: "never")
+    assert instruction.key is not None
+
+
+def test_indexed_lookup(benchmark):
+    """Equality probe on an indexed column, 10k-row table."""
+    db = Database()
+    table = db.create_table(
+        schema("t", [("k", "int"), ("cat", "str"), ("v", "int")])
+    )
+    table.create_index("cat")
+    rng = random.Random(3)
+    for i in range(10_000):
+        table.insert({"k": i, "cat": "c%02d" % rng.randrange(50), "v": i})
+
+    rows = benchmark(table.lookup, "cat", "c25")
+    assert rows
+
+
+def test_invalidation_fanout(benchmark):
+    """One row update fanning out through the trigger bus to a BEM
+    watching 200 fragments on other rows (the non-matching fast path)."""
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=1024, clock=clock)
+    db = Database()
+    table = db.create_table(schema("t", [("k", "int"), ("v", "int")]))
+    for i in range(256):
+        table.insert({"k": i, "v": 0})
+    bem.attach_database(db.bus)
+    from repro.core.fragments import Dependency
+
+    for i in range(200):
+        fragment_id = FragmentID.create("f", {"i": i})
+        meta = FragmentMetadata(dependencies=(Dependency("t", key=i),))
+        bem.process_block(fragment_id, meta, lambda: "x")
+
+    counter = iter(range(10**9))
+
+    def update_unwatched():
+        table.update({"v": next(counter)}, key=255)
+
+    benchmark(update_unwatched)

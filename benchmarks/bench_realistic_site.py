@@ -1,0 +1,45 @@
+"""Realistic-site bench: BooksOnline behind the full topology.
+
+Not a paper figure — the evaluation the paper's *deployment* section
+implies: a personalized e-commerce site with dynamic layouts, a
+registered/anonymous visitor mix, Zipf-popular categories, and live
+catalog churn.  Reports byte savings, hit ratio, latency, and correctness.
+"""
+
+from repro.harness.realistic import run_realistic_pair
+
+
+def test_realistic_site(benchmark, report):
+    plain, dpc = benchmark.pedantic(
+        lambda: run_realistic_pair(requests=400, warmup=100),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        "BooksOnline behind the DPC (%d requests, %d catalog updates)"
+        % (dpc.requests, dpc.catalog_updates),
+        ["metric", "no cache", "DPC"],
+        [
+            ["origin payload bytes", plain.origin_payload_bytes,
+             dpc.origin_payload_bytes],
+            ["origin wire bytes", plain.origin_wire_bytes,
+             dpc.origin_wire_bytes],
+            ["byte savings", "-",
+             "%.1f%%" % (100 * (1 - dpc.origin_payload_bytes
+                                / plain.origin_payload_bytes))],
+            ["fragment hit ratio", "-", "%.3f" % dpc.measured_hit_ratio],
+            ["mean response time (ms)",
+             "%.2f" % (plain.mean_response_time * 1000),
+             "%.2f" % (dpc.mean_response_time * 1000)],
+            ["pages checked / incorrect",
+             "%d / %d" % (plain.pages_checked, plain.pages_incorrect),
+             "%d / %d" % (dpc.pages_checked, dpc.pages_incorrect)],
+        ],
+    )
+
+    assert dpc.pages_incorrect == 0
+    assert plain.pages_incorrect == 0
+    assert dpc.origin_payload_bytes < 0.65 * plain.origin_payload_bytes
+    assert dpc.mean_response_time < plain.mean_response_time
+    assert dpc.measured_hit_ratio > 0.6

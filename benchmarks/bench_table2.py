@@ -1,0 +1,50 @@
+"""Table 2: baseline parameter settings, plus the derived baseline numbers.
+
+Regenerates the parameter table and reports the closed-form quantities the
+rest of the evaluation hangs off (S_NC, S_C, B_C/B_NC, savings%).
+"""
+
+from repro.analysis import (
+    TABLE2,
+    bytes_ratio,
+    expected_bytes_cached,
+    expected_bytes_no_cache,
+    response_size_cached,
+    response_size_no_cache,
+    savings_percent,
+)
+
+
+def test_table2_baseline(benchmark, report):
+    def compute():
+        return {
+            "S_NC": response_size_no_cache(TABLE2),
+            "S_C": response_size_cached(TABLE2),
+            "B_NC": expected_bytes_no_cache(TABLE2),
+            "B_C": expected_bytes_cached(TABLE2),
+            "ratio": bytes_ratio(TABLE2),
+            "savings%": savings_percent(TABLE2),
+        }
+
+    derived = benchmark(compute)
+
+    report(
+        "Table 2: Baseline Parameter Settings for Analysis",
+        ["parameter", "value"],
+        list(TABLE2.as_table().items()),
+    )
+    report(
+        "Derived baseline quantities (Section 5 model)",
+        ["quantity", "value"],
+        [
+            ["S_NC (bytes/response, no cache)", "%.1f" % derived["S_NC"]],
+            ["S_C (bytes/response, DPC)", "%.1f" % derived["S_C"]],
+            ["B_NC (bytes over interval)", "%.3e" % derived["B_NC"]],
+            ["B_C (bytes over interval)", "%.3e" % derived["B_C"]],
+            ["B_C / B_NC", "%.4f" % derived["ratio"]],
+            ["savings in bytes served", "%.1f%%" % derived["savings%"]],
+        ],
+    )
+
+    assert derived["ratio"] < 1.0
+    assert derived["savings%"] > 0.0

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure) and prints
+the same rows/series the paper reports, so that
+``pytest benchmarks/ --benchmark-only`` is the reproduction log.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a figure/table block immediately, bypassing pytest capture."""
+
+    def emit(title, headers, rows):
+        from repro.harness.reporting import format_table
+
+        with capsys.disabled():
+            print()
+            print("=== %s ===" % title)
+            print(format_table(headers, rows))
+
+    return emit

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure/table in one go (reduced request counts).
+
+The benchmark harness (``pytest benchmarks/ --benchmark-only``) is the
+canonical reproduction run; this script is the quick interactive version —
+a couple of minutes, printing each artifact's rows.
+
+Run:  python examples/reproduce_figures.py
+"""
+
+from repro.analysis import TABLE2
+from repro.harness.experiments import (
+    case_study,
+    figure_2a_rows,
+    figure_2b_rows,
+    figure_3a_rows,
+    figure_3b_rows,
+    figure_5_rows,
+    figure_6_rows,
+)
+from repro.harness.reporting import print_table
+
+REQUESTS = 600
+WARMUP = 150
+
+
+def main():
+    print_table(
+        "Table 2: Baseline Parameter Settings",
+        ["parameter", "value"],
+        list(TABLE2.as_table().items()),
+    )
+
+    print_table(
+        "Figure 2(a): B_C/B_NC vs fragment size (analytical)",
+        ["size (B)", "ratio"],
+        [[r.fragment_size, "%.4f" % r.analytical_ratio]
+         for r in figure_2a_rows()],
+    )
+
+    print_table(
+        "Figure 2(b): savings %% vs hit ratio (analytical)",
+        ["h", "savings %"],
+        [["%.2f" % r.hit_ratio, "%.2f" % r.analytical_savings_pct]
+         for r in figure_2b_rows()],
+    )
+
+    print_table(
+        "Figure 3(a): cost savings vs cacheability (analytical)",
+        ["cacheability", "network %", "firewall %"],
+        [["%.0f%%" % (r.cacheability * 100),
+          "%.2f" % r.analytical_network_savings_pct,
+          "%.2f" % r.analytical_firewall_savings_pct]
+         for r in figure_3a_rows()],
+    )
+
+    print("\nrunning the simulated testbed (this takes a minute)...")
+
+    print_table(
+        "Figure 3(b): B_C/B_NC vs fragment size (analytical + experimental)",
+        ["size (B)", "analytical", "exp payload", "exp wire"],
+        [[r.fragment_size, "%.4f" % r.analytical_ratio,
+          "%.4f" % r.experimental_payload_ratio,
+          "%.4f" % r.experimental_wire_ratio]
+         for r in figure_3b_rows(sizes=(256, 1024, 4096),
+                                 requests=REQUESTS, warmup=WARMUP)],
+    )
+
+    print_table(
+        "Figure 5: savings %% vs hit ratio (analytical + experimental)",
+        ["target h", "analytical", "exp payload", "exp wire"],
+        [["%.1f" % r.hit_ratio, "%.2f" % r.analytical_savings_pct,
+          "%.2f" % r.experimental_savings_pct,
+          "%.2f" % r.experimental_wire_savings_pct]
+         for r in figure_5_rows(hit_ratios=(0.0, 0.4, 0.8, 1.0),
+                                requests=REQUESTS, warmup=WARMUP)],
+    )
+
+    print_table(
+        "Figure 6: savings vs cacheability (analytical + experimental)",
+        ["cacheability", "analytical net", "exp net", "exp firewall"],
+        [["%.0f%%" % (r.cacheability * 100),
+          "%.2f" % r.analytical_network_savings_pct,
+          "%.2f" % r.experimental_network_savings_pct,
+          "%.2f" % r.experimental_firewall_savings_pct]
+         for r in figure_6_rows(cacheabilities=(0.25, 0.75, 1.0),
+                                requests=REQUESTS, warmup=WARMUP)],
+    )
+
+    result = case_study(requests=REQUESTS, warmup=WARMUP)
+    print_table(
+        "Case study: order-of-magnitude claims",
+        ["metric", "reduction"],
+        [
+            ["origin bandwidth", "%.1fx" % result.bandwidth_reduction_factor],
+            ["mean response time",
+             "%.1fx" % result.response_time_reduction_factor],
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: keeps ``pip install -e .`` working on environments whose
+setuptools predates PEP 660 editable wheels.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro: a reproduction of "Proxy-Based Acceleration of Dynamically
+Generated Content on the World Wide Web" (Datta et al., SIGMOD 2002).
+
+The package implements the paper's Dynamic Proxy Cache (DPC) and Back End
+Monitor (BEM), every substrate their evaluation depends on (application
+server, relational engine, CMS, simulated network with a Sniffer, workload
+generation), the Section 3 baselines, the Section 5 analytical model, and
+an experiment harness that regenerates every table and figure.
+
+Quick taste::
+
+    from repro.harness import TestbedConfig, run_testbed
+
+    result = run_testbed(TestbedConfig(mode="dpc", requests=500))
+    print(result.response_payload_bytes, result.measured_hit_ratio)
+
+See README.md for the architecture tour and DESIGN.md for the module map.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, appserver, baselines, cms, core, database, harness
+from . import network, sites, workload
+from .errors import ReproError
+
+__all__ = [
+    "analysis",
+    "appserver",
+    "baselines",
+    "cms",
+    "core",
+    "database",
+    "harness",
+    "network",
+    "sites",
+    "workload",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""The Section 5 analytical model: expected bytes served and scan costs."""
+
+from .heterogeneous import (
+    Application,
+    FragmentSpec,
+    PageComposition,
+    homogeneous_application,
+)
+from .model import (
+    breakeven_hit_ratio,
+    bytes_ratio,
+    cacheability_series,
+    expected_bytes_cached,
+    expected_bytes_no_cache,
+    figure_2a_series,
+    figure_2b_series,
+    fragment_bytes_cached,
+    fragment_bytes_no_cache,
+    page_access_counts,
+    response_size_cached,
+    response_size_no_cache,
+    savings_percent,
+    sweep,
+)
+from .params import TABLE2, AnalysisParams
+from .serverside import ServerSideModel
+from .scancost import (
+    figure_3a_series,
+    firewall_savings_percent,
+    network_savings_percent,
+    result1_holds,
+    scan_breakeven_cacheability,
+)
+
+__all__ = [
+    "AnalysisParams",
+    "Application",
+    "FragmentSpec",
+    "PageComposition",
+    "homogeneous_application",
+    "TABLE2",
+    "response_size_no_cache",
+    "response_size_cached",
+    "fragment_bytes_no_cache",
+    "fragment_bytes_cached",
+    "expected_bytes_no_cache",
+    "expected_bytes_cached",
+    "page_access_counts",
+    "bytes_ratio",
+    "savings_percent",
+    "breakeven_hit_ratio",
+    "sweep",
+    "figure_2a_series",
+    "figure_2b_series",
+    "cacheability_series",
+    "figure_3a_series",
+    "firewall_savings_percent",
+    "network_savings_percent",
+    "result1_holds",
+    "scan_breakeven_cacheability",
+    "ServerSideModel",
+]

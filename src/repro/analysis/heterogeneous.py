@@ -1,0 +1,200 @@
+"""The general form of the Section 5 model: explicit per-page fragment sets.
+
+Table 1 defines pages over a shared fragment pool — ``E_i ⊆ E`` with a
+many-to-many mapping — and ``B = Σ_i S(c_i) · n_i(t)``.  The homogeneous
+shortcut in :mod:`repro.analysis.model` (every page = k identical
+fragments) is exact for the paper's parameter sweeps, but the general form
+matters when composition correlates with popularity: a site whose *hot*
+pages are highly cacheable saves far more than the homogeneous average
+suggests, and vice versa.  The composition ablation bench quantifies that.
+
+``FragmentSpec``/``PageSpec`` mirror the paper's E and C sets directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..workload.zipf import ZipfDistribution
+from .model import fragment_bytes_cached
+from .params import AnalysisParams
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """One element of E: a fragment with a size and design-time X_j."""
+
+    name: str
+    size: float
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ConfigurationError("fragment size cannot be negative")
+
+
+@dataclass(frozen=True)
+class PageComposition:
+    """One element of C: a page as an ordered list of fragment names.
+
+    Fragment *sharing* across pages is expressed by repeating names — the
+    many-to-many mapping of the paper's model.  (For expected-bytes math
+    the sharing does not change S_c, but it is what makes real hit ratios
+    achievable, so workload-level tooling consumes it too.)
+    """
+
+    name: str
+    fragment_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fragment_names:
+            raise ConfigurationError("page %r has no fragments" % self.name)
+
+
+class Application:
+    """The (E, C) pair plus header/tag parameters: a full model instance."""
+
+    def __init__(
+        self,
+        fragments: Sequence[FragmentSpec],
+        pages: Sequence[PageComposition],
+        header_bytes: float = 500.0,
+        tag_size: float = 10.0,
+        zipf_alpha: float = 1.0,
+    ) -> None:
+        if not fragments or not pages:
+            raise ConfigurationError("need at least one fragment and one page")
+        self._fragments: Dict[str, FragmentSpec] = {}
+        for fragment in fragments:
+            if fragment.name in self._fragments:
+                raise ConfigurationError(
+                    "duplicate fragment %r" % fragment.name
+                )
+            self._fragments[fragment.name] = fragment
+        self.pages = list(pages)
+        for page in self.pages:
+            for name in page.fragment_names:
+                if name not in self._fragments:
+                    raise ConfigurationError(
+                        "page %r uses unknown fragment %r" % (page.name, name)
+                    )
+        self.header_bytes = header_bytes
+        self.tag_size = tag_size
+        self.zipf = ZipfDistribution(len(self.pages), alpha=zipf_alpha)
+
+    # -- per-page response sizes -------------------------------------------------
+
+    def fragment(self, name: str) -> FragmentSpec:
+        """Look up one pool fragment by name."""
+        return self._fragments[name]
+
+    def page_size_no_cache(self, page: PageComposition) -> float:
+        """S_NC(c_i) = Σ s_ej + f."""
+        return (
+            sum(self._fragments[n].size for n in page.fragment_names)
+            + self.header_bytes
+        )
+
+    def page_size_cached(self, page: PageComposition, hit_ratio: float) -> float:
+        """S_C(c_i) with the paper's per-fragment expected costs."""
+        total = self.header_bytes
+        for name in page.fragment_names:
+            fragment = self._fragments[name]
+            total += fragment_bytes_cached(
+                fragment.size, hit_ratio, self.tag_size, fragment.cacheable
+            )
+        return total
+
+    # -- expected bytes over an interval -------------------------------------------
+
+    def expected_bytes_no_cache(self, requests: int) -> float:
+        """B_NC = sum_i S_NC(c_i) * P(i) * R over this application."""
+        return sum(
+            self.page_size_no_cache(page) * self.zipf.pmf(rank) * requests
+            for rank, page in enumerate(self.pages, start=1)
+        )
+
+    def expected_bytes_cached(self, requests: int, hit_ratio: float) -> float:
+        """B_C = sum_i S_C(c_i) * P(i) * R over this application."""
+        return sum(
+            self.page_size_cached(page, hit_ratio)
+            * self.zipf.pmf(rank)
+            * requests
+            for rank, page in enumerate(self.pages, start=1)
+        )
+
+    def bytes_ratio(self, hit_ratio: float, requests: int = 1_000_000) -> float:
+        """B_C / B_NC at the given hit ratio."""
+        return self.expected_bytes_cached(requests, hit_ratio) / (
+            self.expected_bytes_no_cache(requests)
+        )
+
+    def savings_percent(self, hit_ratio: float) -> float:
+        """Percentage savings in expected bytes served."""
+        return (1.0 - self.bytes_ratio(hit_ratio)) * 100.0
+
+    # -- structure metrics -----------------------------------------------------------
+
+    def cacheability_factor(self) -> float:
+        """Fraction of pool fragments that are cacheable (design-time)."""
+        cacheable = sum(1 for f in self._fragments.values() if f.cacheable)
+        return cacheable / len(self._fragments)
+
+    def traffic_weighted_cacheability(self) -> float:
+        """Cacheable *byte* fraction as traffic actually sees it —
+        popularity-weighted over page compositions.  When this diverges
+        from :meth:`cacheability_factor`, the homogeneous model misleads.
+        """
+        weighted_cacheable = 0.0
+        weighted_total = 0.0
+        for rank, page in enumerate(self.pages, start=1):
+            weight = self.zipf.pmf(rank)
+            for name in page.fragment_names:
+                fragment = self._fragments[name]
+                weighted_total += weight * fragment.size
+                if fragment.cacheable:
+                    weighted_cacheable += weight * fragment.size
+        if weighted_total == 0:
+            return 0.0
+        return weighted_cacheable / weighted_total
+
+
+def homogeneous_application(params: AnalysisParams) -> Application:
+    """The Table 2 configuration expressed in the general model.
+
+    Cacheability is striped identically within every page (Bresenham over
+    the slot index), so all pages are byte-identical and the general
+    model's ratios match :func:`repro.analysis.model.bytes_ratio`
+    *exactly* whenever ``cacheability * fragments_per_page`` is integral.
+    At non-integral products (e.g. Table 2's 0.6 x 4 = 2.4) no boolean
+    assignment realizes the fraction per page; the closed form then
+    reports the fractional expectation while any concrete application
+    rounds — the same discreteness that shows up as a small gap between
+    the analytical curve and testbed measurements.
+    """
+    fragments: List[FragmentSpec] = []
+    pages: List[PageComposition] = []
+    c = params.cacheability
+    for page_index in range(params.num_pages):
+        names = []
+        for slot in range(params.fragments_per_page):
+            name = "p%d-f%d" % (page_index, slot)
+            cacheable = (
+                math.floor((slot + 1) * c) - math.floor(slot * c) == 1
+            )
+            fragments.append(
+                FragmentSpec(name, params.fragment_size, cacheable)
+            )
+            names.append(name)
+        pages.append(PageComposition("page%d" % page_index, tuple(names)))
+    return Application(
+        fragments,
+        pages,
+        header_bytes=params.header_bytes,
+        tag_size=params.tag_size,
+        zipf_alpha=params.zipf_alpha,
+    )

@@ -1,0 +1,149 @@
+"""Section 5's closed-form expressions for expected bytes served.
+
+Notation (Table 1): pages C = {c_1..c_n}, fragments E = {e_1..e_m},
+s_e = average fragment size, g = tag size, f = header size, h = hit ratio,
+R = requests in the interval, P(i) = Zipf page-access probability.
+
+Response sizes:
+
+* no cache:   ``S_NC(c_i) = sum_{e_j in c_i} s_ej + f``
+* with cache: ``S_C(c_i)  = sum_{e_j in c_i} [ X_j (h g + (1-h)(s_ej + 2g))
+  + (1 - X_j) s_ej ] + f``
+
+where ``X_j`` indicates design-time cacheability.  A cache hit replaces the
+fragment with a ``g``-byte GET tag; a miss ships the content wrapped in two
+tags (``s + 2g``); non-cacheable fragments always ship whole.
+
+Expected bytes over the interval: ``B = sum_i S(c_i) * n_i(t)`` with
+``n_i(t) = P(i) * R``.  Because the Zipf weights sum to 1, homogeneous pages
+make B equal ``S * R`` — but the per-page machinery is kept so heterogeneous
+page compositions can be analyzed too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..workload.zipf import ZipfDistribution
+from .params import AnalysisParams
+
+
+# ---------------------------------------------------------------------------
+# Per-fragment and per-page response sizes
+# ---------------------------------------------------------------------------
+
+
+def fragment_bytes_no_cache(size: float) -> float:
+    """A fragment's contribution to S_NC: just its content."""
+    return size
+
+
+def fragment_bytes_cached(
+    size: float, hit_ratio: float, tag_size: float, cacheable: bool
+) -> float:
+    """A fragment's expected contribution to S_C."""
+    if not cacheable:
+        return size
+    hit_cost = hit_ratio * tag_size
+    miss_cost = (1.0 - hit_ratio) * (size + 2.0 * tag_size)
+    return hit_cost + miss_cost
+
+
+def response_size_no_cache(params: AnalysisParams) -> float:
+    """S_NC for the homogeneous page of the baseline configuration."""
+    return (
+        params.fragments_per_page * fragment_bytes_no_cache(params.fragment_size)
+        + params.header_bytes
+    )
+
+
+def response_size_cached(params: AnalysisParams) -> float:
+    """S_C for the homogeneous page: the cacheability factor weights the
+    cacheable vs non-cacheable fragment costs."""
+    cacheable_part = params.cacheability * fragment_bytes_cached(
+        params.fragment_size, params.hit_ratio, params.tag_size, cacheable=True
+    )
+    plain_part = (1.0 - params.cacheability) * params.fragment_size
+    return (
+        params.fragments_per_page * (cacheable_part + plain_part)
+        + params.header_bytes
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expected bytes served over the interval
+# ---------------------------------------------------------------------------
+
+
+def page_access_counts(params: AnalysisParams) -> List[float]:
+    """n_i(t) = P(i) * R for each page, P(i) Zipfian."""
+    zipf = ZipfDistribution(params.num_pages, alpha=params.zipf_alpha)
+    return [zipf.pmf(rank) * params.requests for rank in range(1, params.num_pages + 1)]
+
+
+def expected_bytes_no_cache(params: AnalysisParams) -> float:
+    """B_NC = sum_i S_NC(c_i) * n_i(t)."""
+    size = response_size_no_cache(params)
+    return sum(size * count for count in page_access_counts(params))
+
+
+def expected_bytes_cached(params: AnalysisParams) -> float:
+    """B_C = sum_i S_C(c_i) * n_i(t)."""
+    size = response_size_cached(params)
+    return sum(size * count for count in page_access_counts(params))
+
+
+def bytes_ratio(params: AnalysisParams) -> float:
+    """B_C / B_NC — the y-axis of Figures 2(a) and 3(b)."""
+    return expected_bytes_cached(params) / expected_bytes_no_cache(params)
+
+
+def savings_percent(params: AnalysisParams) -> float:
+    """Percentage savings in expected bytes served — Figures 2(b) and 5."""
+    return (1.0 - bytes_ratio(params)) * 100.0
+
+
+def breakeven_hit_ratio(params: AnalysisParams) -> float:
+    """The hit ratio at which the DPC stops costing bytes (savings = 0).
+
+    Solving ``h g + (1-h)(s + 2g) = s`` gives ``h* = 2g / (s + g)``.
+    With Table 2 values h* is about 0.019 — the paper's "as long as 1% or
+    more fragments are served from cache" claim, to rounding.
+    """
+    return (2.0 * params.tag_size) / (params.fragment_size + params.tag_size)
+
+
+# ---------------------------------------------------------------------------
+# Sweeps (the analytical series behind each figure)
+# ---------------------------------------------------------------------------
+
+
+def sweep(
+    params: AnalysisParams,
+    field: str,
+    values: Sequence[float],
+    metric: Callable[[AnalysisParams], float],
+) -> List[Tuple[float, float]]:
+    """Generic one-dimensional sensitivity sweep."""
+    return [(value, metric(params.with_(**{field: value}))) for value in values]
+
+
+def figure_2a_series(
+    params: AnalysisParams, sizes: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """B_C/B_NC vs fragment size (bytes in, ratio out)."""
+    return sweep(params, "fragment_size", sizes, bytes_ratio)
+
+
+def figure_2b_series(
+    params: AnalysisParams, hit_ratios: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Savings-in-bytes-served %% vs hit ratio."""
+    return sweep(params, "hit_ratio", hit_ratios, savings_percent)
+
+
+def cacheability_series(
+    params: AnalysisParams, cacheabilities: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Savings-in-bytes-served %% vs cacheability (Fig 3(a) upper curve)."""
+    return sweep(params, "cacheability", cacheabilities, savings_percent)

@@ -1,0 +1,74 @@
+"""Table 2: baseline parameter settings for the Section 5 analysis.
+
+==============================  =========
+Parameter                       Value
+==============================  =========
+hit ratio (h)                   0.8
+fragment size (s_e)             1K bytes
+number of fragments per page    4
+number of pages                 10
+avg size of header info (f)     500 bytes
+tag size (g)                    10 bytes
+cacheability factor             0.6
+requests during interval (R)    1 million
+==============================  =========
+
+"Our choice of 0.8 as the baseline hit ratio is driven largely by the
+numerous studies that have shown that Web requests often exhibit locality."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AnalysisParams:
+    """One configuration of the closed-form model (defaults = Table 2)."""
+
+    hit_ratio: float = 0.8
+    fragment_size: float = 1024.0
+    fragments_per_page: int = 4
+    num_pages: int = 10
+    header_bytes: float = 500.0
+    tag_size: float = 10.0
+    cacheability: float = 0.6
+    requests: int = 1_000_000
+    zipf_alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hit_ratio <= 1.0:
+            raise ConfigurationError("hit_ratio must be in [0, 1]")
+        if not 0.0 <= self.cacheability <= 1.0:
+            raise ConfigurationError("cacheability must be in [0, 1]")
+        if self.fragment_size < 0 or self.header_bytes < 0 or self.tag_size < 0:
+            raise ConfigurationError("sizes cannot be negative")
+        if self.fragments_per_page <= 0 or self.num_pages <= 0 or self.requests <= 0:
+            raise ConfigurationError("counts must be positive")
+        if self.zipf_alpha < 0:
+            raise ConfigurationError("zipf_alpha cannot be negative")
+
+    def with_(self, **overrides) -> "AnalysisParams":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    def as_table(self) -> Dict[str, object]:
+        """Row-oriented rendering of Table 2 for the bench harness."""
+        return {
+            "hit ratio (h)": self.hit_ratio,
+            "fragment size (s_e)": "%d bytes" % round(self.fragment_size),
+            "number of fragments per page": self.fragments_per_page,
+            "number of pages": self.num_pages,
+            "average size of header information (f)": "%d bytes"
+            % round(self.header_bytes),
+            "tag size (g)": "%d bytes" % round(self.tag_size),
+            "cacheability factor": self.cacheability,
+            "number of requests during interval (R)": self.requests,
+        }
+
+
+#: The paper's Table 2 settings, importable by name.
+TABLE2 = AnalysisParams()

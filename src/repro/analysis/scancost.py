@@ -1,0 +1,86 @@
+"""The Section 5 scan-cost comparison and Result 1.
+
+Every byte the site serves is scanned by the firewall at cost ``y``/byte:
+``scanCost_NC = B_NC * y`` (equation 1).  With the DPC deployed, responses
+are additionally scanned for tags at ``z``/byte; with KMP both scans are
+linear, so the paper assumes ``z ~= y`` and gets
+``scanCost_C = B_C * 2y`` (equation 2).
+
+**Result 1**: the DPC is preferable on scan cost iff ``B_NC > 2 B_C``.
+
+The firewall-savings curve of Figure 3(a) is ``(1 - 2 B_C/B_NC) * 100`` —
+negative at low cacheability (the extra scan outweighs the byte savings)
+and crossing zero where the byte ratio reaches one half.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .model import bytes_ratio, expected_bytes_cached, expected_bytes_no_cache
+from .params import AnalysisParams
+
+
+def firewall_savings_percent(params: AnalysisParams, z_over_y: float = 1.0) -> float:
+    """Scan-cost savings %% of deploying the DPC.
+
+    ``z_over_y`` generalizes the paper's z == y assumption: the DPC pays
+    ``(1 + z/y)`` scan passes per byte relative to the firewall-only path.
+    """
+    ratio = bytes_ratio(params)
+    return (1.0 - (1.0 + z_over_y) * ratio) * 100.0
+
+
+def network_savings_percent(params: AnalysisParams) -> float:
+    """Byte savings %% (Figure 3(a)'s upper curve; same as model.savings)."""
+    return (1.0 - bytes_ratio(params)) * 100.0
+
+
+def result1_holds(params: AnalysisParams) -> bool:
+    """Result 1: use the DPC iff B_NC > 2 * B_C."""
+    return expected_bytes_no_cache(params) > 2.0 * expected_bytes_cached(params)
+
+
+def figure_3a_series(
+    params: AnalysisParams, cacheabilities: Sequence[float], z_over_y: float = 1.0
+) -> List[Tuple[float, float, float]]:
+    """(cacheability, network savings %, firewall savings %) triples."""
+    series = []
+    for cacheability in cacheabilities:
+        point = params.with_(cacheability=cacheability)
+        series.append(
+            (
+                cacheability,
+                network_savings_percent(point),
+                firewall_savings_percent(point, z_over_y=z_over_y),
+            )
+        )
+    return series
+
+
+def scan_breakeven_cacheability(
+    params: AnalysisParams,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    tolerance: float = 1e-6,
+) -> float:
+    """Cacheability at which firewall savings cross zero (bisection).
+
+    Returns ``hi`` if savings never reach zero in [lo, hi] (always losing)
+    and ``lo`` if they are already positive at ``lo``.
+    """
+
+    def savings_at(cacheability: float) -> float:
+        return firewall_savings_percent(params.with_(cacheability=cacheability))
+
+    if savings_at(lo) >= 0:
+        return lo
+    if savings_at(hi) < 0:
+        return hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if savings_at(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,117 @@
+"""The analysis the paper omitted: server-side performance and capacity.
+
+Section 5 opens: "There are two types of benefits that accrue in our
+model: (a) performance and scalability of the server side, and (b)
+bandwidth savings ...  Due to space limitations, we only present the
+results of our bandwidth savings analysis."
+
+This module reconstructs the omitted half, using the same §2.2.2 delay
+taxonomy the testbed's :class:`GenerationCostModel` implements.  Expected
+origin time per request:
+
+* no cache:  ``T_NC = d + k · t_gen``
+* with DPC:  ``T_C  = d + k · [ X (h · t_probe + (1-h) · t_gen)
+  + (1-X) · t_gen ]``
+
+where ``d`` is request dispatch, ``k`` fragments/page, ``t_gen`` the full
+block-generation cost (cross-tier hops, DB connection wait, per-row and
+per-byte work, conversion) and ``t_probe`` the directory lookup.  From T
+follows single-server capacity ``1/T`` requests/second, and the speedup
+and capacity-multiplier curves vs hit ratio — the server-side mirror of
+Figure 2(b).  The testbed's measured generation times validate the
+expressions (see ``benchmarks/bench_serverside.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..network.latency import GenerationCostModel
+from .params import AnalysisParams
+
+
+@dataclass(frozen=True)
+class ServerSideModel:
+    """Closed-form origin-time model for one (params, cost-model) pair."""
+
+    params: AnalysisParams
+    costs: GenerationCostModel = GenerationCostModel()
+    #: DB rows a typical fragment's query touches (drives per-row cost).
+    db_rows_per_fragment: int = 8
+    #: Cross-tier hops per fragment generation (Figure 1's workflow).
+    cross_tier_hops: int = 3
+
+    # -- primitive times ---------------------------------------------------------
+
+    def generation_time(self) -> float:
+        """t_gen: cost of running one tagged block's body."""
+        return self.costs.block_generation_cost(
+            output_bytes=int(self.params.fragment_size),
+            db_rows=self.db_rows_per_fragment,
+            cross_tier_hops=self.cross_tier_hops,
+        )
+
+    def probe_time(self) -> float:
+        """t_probe: cost of a directory hit (the block body is skipped)."""
+        return self.costs.block_hit_cost()
+
+    # -- per-request times ------------------------------------------------------------
+
+    def request_time_no_cache(self) -> float:
+        """T_NC: dispatch plus full generation of every fragment."""
+        return (
+            self.costs.request_dispatch_s
+            + self.params.fragments_per_page * self.generation_time()
+        )
+
+    def request_time_cached(self, hit_ratio: float = None) -> float:
+        """T_C at a hit ratio (defaults to the configured one)."""
+        h = self.params.hit_ratio if hit_ratio is None else hit_ratio
+        x = self.params.cacheability
+        t_gen = self.generation_time()
+        per_fragment = x * (
+            h * self.probe_time() + (1.0 - h) * t_gen
+        ) + (1.0 - x) * t_gen
+        return (
+            self.costs.request_dispatch_s
+            + self.params.fragments_per_page * per_fragment
+        )
+
+    # -- derived metrics ---------------------------------------------------------------
+
+    def speedup(self, hit_ratio: float = None) -> float:
+        """T_NC / T_C: per-request origin-time improvement."""
+        return self.request_time_no_cache() / self.request_time_cached(hit_ratio)
+
+    def capacity_no_cache(self) -> float:
+        """Single-server throughput ceiling without caching (req/s)."""
+        return 1.0 / self.request_time_no_cache()
+
+    def capacity_cached(self, hit_ratio: float = None) -> float:
+        """Single-server throughput ceiling with the DPC (req/s)."""
+        return 1.0 / self.request_time_cached(hit_ratio)
+
+    def capacity_multiplier(self, hit_ratio: float = None) -> float:
+        """How many no-cache servers one cached server replaces."""
+        return self.capacity_cached(hit_ratio) / self.capacity_no_cache()
+
+    # -- sweeps ------------------------------------------------------------------------
+
+    def speedup_series(
+        self, hit_ratios: Sequence[float]
+    ) -> List[Tuple[float, float, float]]:
+        """(h, T_C seconds, speedup) rows over a hit-ratio sweep."""
+        return [
+            (h, self.request_time_cached(h), self.speedup(h))
+            for h in hit_ratios
+        ]
+
+    def asymptotic_speedup(self) -> float:
+        """The h -> 1 limit: bounded by the non-cacheable work.
+
+        With X < 1 the speedup saturates at
+        ``(d + k·t_gen) / (d + k·(X·t_probe + (1-X)·t_gen))`` — Amdahl's
+        law with the non-cacheable fragments as the serial fraction.
+        """
+        return self.speedup(1.0)

@@ -1,0 +1,47 @@
+"""Application-server substrate (stands in for IIS + ASP / WebLogic + JSP).
+
+Executes dynamic scripts through an MVC-shaped layering, resolves sessions,
+and — when a BEM is attached — runs the paper's run-time protocol at every
+tagged code block.
+"""
+
+from .http import (
+    DEFAULT_REQUEST_HEADER_BYTES,
+    DEFAULT_RESPONSE_HEADER_BYTES,
+    HttpRequest,
+    HttpResponse,
+)
+from .mvc import (
+    BusinessComponent,
+    ComponentRegistry,
+    DataAccessor,
+    TierAccounting,
+    View,
+)
+from .scripts import (
+    DynamicScript,
+    ScriptContext,
+    ScriptRegistry,
+    SiteServices,
+)
+from .server import ApplicationServer
+from .session import Session, SessionManager
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "DEFAULT_REQUEST_HEADER_BYTES",
+    "DEFAULT_RESPONSE_HEADER_BYTES",
+    "ComponentRegistry",
+    "BusinessComponent",
+    "DataAccessor",
+    "View",
+    "TierAccounting",
+    "DynamicScript",
+    "ScriptContext",
+    "ScriptRegistry",
+    "SiteServices",
+    "ApplicationServer",
+    "Session",
+    "SessionManager",
+]

@@ -1,0 +1,89 @@
+"""Minimal HTTP request/response objects with byte-exact size accounting.
+
+The analysis (§5) charges every response ``f`` bytes of header information
+(HTTP headers such as ``Server`` and ``Content-type``; Table 2 baseline
+f = 500).  Requests also cross the measured link, so they get an explicit
+size model too — the paper's Sniffer saw them, which is part of why the
+experimental curves differ from the analytical ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..errors import ConfigurationError
+
+#: Table 2 baseline: "average size of header information (f)".
+DEFAULT_RESPONSE_HEADER_BYTES = 500
+
+#: Typical request-line + header budget for a 2002-era browser request.
+DEFAULT_REQUEST_HEADER_BYTES = 300
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One client request.
+
+    ``user_id`` models the authenticated identity carried by a login
+    cookie; it is *not* part of the URL — which is exactly why URL-keyed
+    caches confuse Bob with Alice (§3.2.1) while fragmentIDs do not.
+    """
+
+    path: str
+    params: Mapping[str, str] = field(default_factory=dict)
+    user_id: Optional[str] = None
+    session_id: Optional[str] = None
+    method: str = "GET"
+    header_bytes: int = DEFAULT_REQUEST_HEADER_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ConfigurationError("request path must start with '/'")
+        if self.header_bytes < 0:
+            raise ConfigurationError("header_bytes cannot be negative")
+
+    @property
+    def url(self) -> str:
+        """The request URL — what a page-level proxy cache keys on."""
+        if not self.params:
+            return self.path
+        query = "&".join(
+            "%s=%s" % (key, self.params[key]) for key in sorted(self.params)
+        )
+        return "%s?%s" % (self.path, query)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes this request occupies as an HTTP message payload."""
+        request_line = len(self.method) + 1 + len(self.url) + len(" HTTP/1.1\r\n")
+        return request_line + self.header_bytes
+
+    def param(self, name: str, default: str = "") -> str:
+        """Query parameter by name, with a default."""
+        return self.params.get(name, default)
+
+
+@dataclass
+class HttpResponse:
+    """One origin response: a body plus ``f`` bytes of headers."""
+
+    body: str
+    status: int = 200
+    header_bytes: int = DEFAULT_RESPONSE_HEADER_BYTES
+    #: Free-form annotations for experiments (page id, hit counts, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.header_bytes < 0:
+            raise ConfigurationError("header_bytes cannot be negative")
+
+    @property
+    def body_bytes(self) -> int:
+        """UTF-8 byte length of the body alone."""
+        return len(self.body.encode("utf-8"))
+
+    @property
+    def payload_bytes(self) -> int:
+        """Body plus header bytes: the S_c of the analysis."""
+        return self.body_bytes + self.header_bytes

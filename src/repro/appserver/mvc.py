@@ -1,0 +1,124 @@
+"""Model-View-Controller layering helpers (§2.2.2's n-tier architecture).
+
+The paper's Figure 1 workflow walks presentation -> business logic -> data
+access, and §3.2.2 argues that ESI-style page factoring "is a major
+departure from the standard Model-View-Controller design paradigm".  The
+reference sites in this reproduction are therefore written in an explicit
+MVC shape — controllers orchestrate, models query, views format — to
+demonstrate that DPC tagging slots into that structure without redesign:
+tags wrap *view* emissions, leaving controllers and models untouched.
+
+These helpers also centralize the cross-tier hop accounting used by the
+latency model: each layer boundary crossed is one hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..errors import AppServerError
+
+
+@dataclass
+class TierAccounting:
+    """Counts layer-boundary crossings for the generation-delay model."""
+
+    presentation_calls: int = 0
+    business_calls: int = 0
+    data_access_calls: int = 0
+
+    @property
+    def cross_tier_hops(self) -> int:
+        """Each non-presentation call is one hop down plus one return."""
+        return self.business_calls + self.data_access_calls
+
+    def reset(self) -> None:
+        """Zero all per-request tier counters."""
+        self.presentation_calls = 0
+        self.business_calls = 0
+        self.data_access_calls = 0
+
+
+class View:
+    """Formats model data into HTML.  Presentation layer."""
+
+    def __init__(self, render: Callable[..., str]) -> None:
+        self._render = render
+
+    def render(self, accounting: TierAccounting, **model: object) -> str:
+        """Format model data into HTML (one presentation call)."""
+        accounting.presentation_calls += 1
+        return self._render(**model)
+
+
+class BusinessComponent:
+    """An EJB-like business-logic component.  Business layer."""
+
+    def __init__(self, name: str, logic: Callable[..., object]) -> None:
+        self.name = name
+        self._logic = logic
+        self.invocations = 0
+
+    def invoke(self, accounting: TierAccounting, **inputs: object) -> object:
+        """Run the business logic (one cross-tier hop)."""
+        accounting.business_calls += 1
+        self.invocations += 1
+        return self._logic(**inputs)
+
+
+class DataAccessor:
+    """A JDBC/ODBC-like data-access wrapper.  Data-access layer."""
+
+    def __init__(self, name: str, fetch: Callable[..., object]) -> None:
+        self.name = name
+        self._fetch = fetch
+        self.invocations = 0
+
+    def fetch(self, accounting: TierAccounting, **inputs: object) -> object:
+        """Fetch via the data-access layer (one cross-tier hop)."""
+        accounting.data_access_calls += 1
+        self.invocations += 1
+        return self._fetch(**inputs)
+
+
+class ComponentRegistry:
+    """Named business components and data accessors for one site."""
+
+    def __init__(self) -> None:
+        self._components: Dict[str, BusinessComponent] = {}
+        self._accessors: Dict[str, DataAccessor] = {}
+
+    def component(self, name: str, logic: Callable[..., object]) -> BusinessComponent:
+        """Register a named business component."""
+        if name in self._components:
+            raise AppServerError("business component %r already registered" % name)
+        component = BusinessComponent(name, logic)
+        self._components[name] = component
+        return component
+
+    def accessor(self, name: str, fetch: Callable[..., object]) -> DataAccessor:
+        """Register a named data accessor."""
+        if name in self._accessors:
+            raise AppServerError("data accessor %r already registered" % name)
+        accessor = DataAccessor(name, fetch)
+        self._accessors[name] = accessor
+        return accessor
+
+    def get_component(self, name: str) -> BusinessComponent:
+        """Look up a business component by name."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise AppServerError("no business component %r" % name) from None
+
+    def get_accessor(self, name: str) -> DataAccessor:
+        """Look up a data accessor by name."""
+        try:
+            return self._accessors[name]
+        except KeyError:
+            raise AppServerError("no data accessor %r" % name) from None
+
+    def names(self) -> List[str]:
+        """All registered component/accessor names."""
+        return sorted(self._components) + sorted(self._accessors)

@@ -1,0 +1,149 @@
+"""The application server: request dispatch, script execution, response build.
+
+Plays the role of IIS + the ASP engine in the paper's testbed.  One server
+instance runs in exactly one of two modes:
+
+* **no-cache** (``bem=None``) — every block executes; the response body is
+  the full page.  This is the paper's baseline configuration.
+* **DPC** (``bem`` set) — tagged blocks run the §4.3.2 protocol; the
+  response body is the serialized page template.
+
+Either way, ``handle()`` returns an :class:`HttpResponse` whose ``meta``
+records what happened (mode, hit/miss counts, virtual generation time), so
+the harness can account bytes and latency without reaching into internals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.bem import BackEndMonitor
+from ..core.tagging import PageBuilder
+from ..core.template import DEFAULT_CONFIG, TemplateConfig
+from ..errors import ScriptError
+from ..network.clock import SimulatedClock
+from ..network.latency import GenerationCostModel
+from .http import DEFAULT_RESPONSE_HEADER_BYTES, HttpRequest, HttpResponse
+from .scripts import DynamicScript, ScriptContext, ScriptRegistry, SiteServices
+from .session import SessionManager
+
+
+class ApplicationServer:
+    """Executes dynamic scripts against site services."""
+
+    def __init__(
+        self,
+        services: SiteServices,
+        clock: Optional[SimulatedClock] = None,
+        bem: Optional[BackEndMonitor] = None,
+        cost_model: Optional[GenerationCostModel] = None,
+        response_header_bytes: int = DEFAULT_RESPONSE_HEADER_BYTES,
+        template_config: TemplateConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.services = services
+        self.clock = clock if clock is not None else (
+            bem.clock if bem is not None else SimulatedClock()
+        )
+        if bem is not None and bem.clock is not self.clock:
+            raise ScriptError("BEM and application server must share one clock")
+        self.bem = bem
+        self.cost_model = cost_model if cost_model is not None else GenerationCostModel()
+        self.response_header_bytes = response_header_bytes
+        self.template_config = template_config
+        self.scripts = ScriptRegistry()
+        self.sessions = SessionManager(self.clock)
+        self.requests_served = 0
+        self.total_generation_s = 0.0
+        #: Only a real BEM emits GET/SET tags; other monitors (e.g. the
+        #: back-end fragment cache baseline) produce client-ready pages
+        #: that must ship raw, without template escaping.
+        self.emit_templates = isinstance(bem, BackEndMonitor)
+
+    @property
+    def caching_enabled(self) -> bool:
+        """Whether a cache monitor (BEM or baseline) is attached."""
+        return self.bem is not None
+
+    def register(self, script: DynamicScript) -> DynamicScript:
+        """Register a dynamic script with this server."""
+        return self.scripts.register(script)
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request end-to-end at the origin.
+
+        Advances the shared clock by the generation time, so TTLs expire
+        under load exactly as they would on a busy real server.
+        """
+        script = self.scripts.resolve(request.path)
+        session = self.sessions.resolve(request.session_id, request.user_id)
+        builder = PageBuilder(
+            self.services.tags, bem=self.bem, template_config=self.template_config
+        )
+        ctx = ScriptContext(
+            request=request,
+            session=session,
+            services=self.services,
+            builder=builder,
+            cost_model=self.cost_model,
+            bem=self.bem,
+        )
+        try:
+            script.run(ctx)
+        except Exception as exc:
+            if isinstance(exc, ScriptError):
+                raise
+            raise ScriptError(
+                "script %r failed: %s" % (request.path, exc)
+            ) from exc
+
+        template = builder.finish()
+        if self.emit_templates:
+            body = template.serialize()
+        else:
+            body = builder.full_page()
+        self.clock.advance(ctx.generation_cost_s)
+        self.requests_served += 1
+        self.total_generation_s += ctx.generation_cost_s
+
+        return HttpResponse(
+            body=body,
+            header_bytes=self.response_header_bytes,
+            meta={
+                "mode": (
+                    "dpc"
+                    if self.emit_templates
+                    else ("backend" if self.caching_enabled else "plain")
+                ),
+                "path": request.path,
+                "url": request.url,
+                "blocks": builder.stats.blocks,
+                "hits": builder.stats.hits,
+                "misses": builder.stats.misses,
+                "generated_bytes": builder.stats.generated_bytes,
+                "generation_s": ctx.generation_cost_s,
+                "get_count": template.get_count,
+                "set_count": template.set_count,
+            },
+        )
+
+    def render_reference_page(self, request: HttpRequest) -> str:
+        """Oracle: the page this request *should* produce, uncached.
+
+        Runs the script with caching disabled against the same services and
+        session state, without advancing the clock or counters — used by the
+        correctness invariants and the baseline-incorrectness benches.
+        """
+        script = self.scripts.resolve(request.path)
+        session = self.sessions.resolve(request.session_id, request.user_id)
+        builder = PageBuilder(self.services.tags, bem=None)
+        ctx = ScriptContext(
+            request=request,
+            session=session,
+            services=self.services,
+            builder=builder,
+            cost_model=self.cost_model,
+            bem=None,
+        )
+        script.run(ctx)
+        builder.finish()
+        return builder.full_page()

@@ -1,0 +1,23 @@
+"""The Section 3 comparison systems, implemented with their real flaws.
+
+* :class:`PageLevelCache` — URL-keyed full-page proxy (serves wrong pages
+  to personalized users; low reuse).
+* :class:`EsiAssembler` — dynamic page assembly (fixed template per URL;
+  fails on dynamic layouts; zero origin bytes when its preconditions hold).
+* :class:`BackendFragmentCache` — back-end fragment cache (always correct,
+  saves computation, saves no bandwidth).
+"""
+
+from .backend_cache import BackendCacheStats, BackendFragmentCache
+from .esi import ESI_TAG_OVERHEAD, EsiAssembler, EsiStats
+from .page_cache import PageCacheStats, PageLevelCache
+
+__all__ = [
+    "PageLevelCache",
+    "PageCacheStats",
+    "EsiAssembler",
+    "EsiStats",
+    "ESI_TAG_OVERHEAD",
+    "BackendFragmentCache",
+    "BackendCacheStats",
+]

@@ -1,0 +1,131 @@
+"""Baseline: page-level proxy caching (§3.2.1).
+
+"Page level caching solutions must rely on the request URL to identify
+pages in cache" — so Bob's personalized page is happily served to Alice,
+and hit ratios crater on personalized sites because every page instance is
+unique.  This implementation is faithful to that design: the cache key is
+the URL and *only* the URL, with an LRU eviction and a fixed TTL, exactly
+like a 2002 reverse-proxy appliance in front of a dynamic site.
+
+Used by the comparison benches to quantify the two failure modes the paper
+describes: incorrect pages served, and low reuse.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..appserver.http import HttpRequest, HttpResponse
+from ..errors import ConfigurationError
+from ..network.clock import SimulatedClock
+
+
+@dataclass
+class PageCacheStats:
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    origin_bytes: int = 0     # payload bytes fetched from the origin
+    served_bytes: int = 0     # payload bytes delivered to clients
+
+    @property
+    def hit_ratio(self) -> float:
+        """Requests served from cache, as a fraction."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+@dataclass
+class _CachedPage:
+    body: str
+    header_bytes: int
+    stored_at: float
+
+
+class PageLevelCache:
+    """URL-keyed full-page cache with LRU eviction and TTL expiry."""
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        capacity: int = 256,
+        ttl_s: Optional[float] = 60.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError("ttl must be positive when given")
+        self.clock = clock
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._pages: "OrderedDict[str, _CachedPage]" = OrderedDict()
+        self.stats = PageCacheStats()
+
+    def serve(
+        self,
+        request: HttpRequest,
+        origin: Callable[[HttpRequest], HttpResponse],
+    ) -> Tuple[HttpResponse, bool]:
+        """Serve a request, consulting the cache by URL.
+
+        Returns ``(response, from_cache)``.  The response returned on a hit
+        is whatever was cached for this URL — which may have been generated
+        for a *different user*.  That is the point.
+        """
+        self.stats.requests += 1
+        now = self.clock.now()
+        url = request.url
+
+        cached = self._pages.get(url)
+        if cached is not None:
+            if self.ttl_s is not None and now - cached.stored_at >= self.ttl_s:
+                self.stats.expirations += 1
+                del self._pages[url]
+            else:
+                self._pages.move_to_end(url)
+                self.stats.hits += 1
+                response = HttpResponse(
+                    body=cached.body,
+                    header_bytes=cached.header_bytes,
+                    meta={"from_cache": True, "url": url},
+                )
+                self.stats.served_bytes += response.payload_bytes
+                return response, True
+
+        self.stats.misses += 1
+        response = origin(request)
+        self.stats.origin_bytes += response.payload_bytes
+        self.stats.served_bytes += response.payload_bytes
+        self._store(url, response, now)
+        response.meta["from_cache"] = False
+        return response, False
+
+    def _store(self, url: str, response: HttpResponse, now: float) -> None:
+        if url in self._pages:
+            self._pages.move_to_end(url)
+        self._pages[url] = _CachedPage(
+            body=response.body, header_bytes=response.header_bytes, stored_at=now
+        )
+        while len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_url(self, url: str) -> bool:
+        """Drop the cached page for one URL; True if present."""
+        return self._pages.pop(url, None) is not None
+
+    def invalidate_all(self) -> int:
+        """Page-level invalidation is all-or-nothing per URL; when source
+        data changes and the operator cannot map it to URLs, the safe move
+        is a full flush — the over-invalidation §3.2.1 complains about."""
+        count = len(self._pages)
+        self._pages.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,32 @@
+"""Content management substrate (stands in for Vignette).
+
+Content items and user profiles live in the relational engine so that
+updates to either flow through database triggers and can invalidate cached
+fragments.  The personalization engine turns a profile into slot content —
+including the shared-profile-object fragment pair that defeats ESI-style
+page factoring (§3.2.2).
+"""
+
+from .personalization import AnyProfile, PersonalizationEngine
+from .profiles import (
+    ANONYMOUS,
+    DEFAULT_LAYOUT,
+    PROFILE_TABLE,
+    AnonymousProfile,
+    Profile,
+    ProfileStore,
+)
+from .repository import CONTENT_TABLE, ContentRepository
+
+__all__ = [
+    "PersonalizationEngine",
+    "AnyProfile",
+    "ProfileStore",
+    "Profile",
+    "AnonymousProfile",
+    "ANONYMOUS",
+    "DEFAULT_LAYOUT",
+    "PROFILE_TABLE",
+    "ContentRepository",
+    "CONTENT_TABLE",
+]

@@ -1,0 +1,83 @@
+"""Personalization logic: profile + repository -> selected content.
+
+This is the "CMS runs personalization logic" step of Figure 1.  Given a
+user profile it decides which content items appear in which page slot —
+including the Personal Greeting / Recommended Products pair from §3.2.2
+whose shared dependency on the user-profile object defeats ESI-style page
+factoring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .profiles import AnonymousProfile, Profile, ProfileStore
+from .repository import ContentRepository
+
+AnyProfile = Union[Profile, AnonymousProfile]
+
+
+class PersonalizationEngine:
+    """Selects content for a user, one call per page slot.
+
+    Both :meth:`greeting_for` and :meth:`recommendations_for` take the
+    *profile object* (not the user id): in the paper's example the script
+    fetches the profile once and derives multiple fragments from it, which
+    is exactly the semantic interdependence that breaks dynamic page
+    assembly and that the BEM handles naturally.
+    """
+
+    def __init__(self, repository: ContentRepository, profiles: ProfileStore) -> None:
+        self.repository = repository
+        self.profiles = profiles
+
+    # -- profile access -----------------------------------------------------------
+
+    def profile_for(self, user_id: Optional[str]) -> AnyProfile:
+        """The §3.2.2 step (1): one profile lookup per request."""
+        return self.profiles.lookup(user_id)
+
+    # -- slot content ----------------------------------------------------------
+
+    def greeting_for(self, profile: AnyProfile) -> str:
+        """Step (2): the Personal Greeting fragment's content.
+
+        Anonymous visitors get no greeting at all — this is the Bob/Alice
+        correctness scenario from §3.2.1.
+        """
+        if not profile.registered:
+            return ""
+        return "Hello, %s" % profile.display_name
+
+    def recommendations_for(
+        self, profile: AnyProfile, limit: int = 3
+    ) -> List[Dict[str, object]]:
+        """Step (3): Recommended Products derived from the same profile.
+
+        Registered users are recommended top items from their preferred
+        categories; anonymous users get the site-wide default category mix.
+        """
+        categories = list(profile.preferred_categories)
+        if not categories:
+            categories = self.repository.categories()[:2]
+        picks: List[Dict[str, object]] = []
+        for category in categories:
+            for item in self.repository.by_category(category, limit=limit):
+                picks.append(item)
+                if len(picks) >= limit:
+                    return picks
+        return picks
+
+    def promos_for(self, profile: AnyProfile, limit: int = 2) -> List[Dict[str, object]]:
+        """Site-wide promos, suppressed for users who opted out."""
+        if not profile.show_promos:
+            return []
+        promos = []
+        for category in self.repository.categories():
+            promos.extend(self.repository.by_category(category, kind="promo"))
+        promos.sort(key=lambda item: (item["rank"], item["content_id"]))
+        return promos[:limit]
+
+    def layout_for(self, profile: AnyProfile) -> List[str]:
+        """The slot ordering for this user's pages (dynamic layout)."""
+        return list(profile.layout_order)

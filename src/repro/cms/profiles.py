@@ -1,0 +1,167 @@
+"""User profiles: the source of dynamic layout and personalized content.
+
+Section 2.1's motivating example: registered users have a profile that
+"specifies the user's content preferences and allows him to control the
+layout of the page", while non-registered visitors get a default layout.
+The *same URL* therefore produces different pages for different users — the
+core reason URL-keyed proxy caches serve wrong pages.
+
+Profiles are stored in the DBMS (they are data like any other), so profile
+edits also flow through triggers and can invalidate the fragments derived
+from them (the Personal Greeting, Recommended Products, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..database import Database, schema
+from ..errors import UnknownUserError
+
+PROFILE_TABLE = "user_profiles"
+
+#: Layout slots a registered user can reorder.  The default layout (used for
+#: non-registered visitors) is this exact order.
+DEFAULT_LAYOUT = ("navigation", "greeting", "main", "recommendations", "promos")
+
+_PROFILE_SCHEMA = schema(
+    PROFILE_TABLE,
+    [
+        ("user_id", "str"),
+        ("display_name", "str"),
+        ("preferred_categories", "str"),  # comma-separated category ids
+        ("layout_order", "str"),          # comma-separated slot names
+        ("show_promos", "bool"),
+    ],
+    primary_key="user_id",
+)
+
+
+@dataclass(frozen=True)
+class Profile:
+    """An immutable view of one registered user's preferences."""
+
+    user_id: str
+    display_name: str
+    preferred_categories: tuple
+    layout_order: tuple
+    show_promos: bool
+
+    @property
+    def registered(self) -> bool:
+        """Always True: this is a registered user's profile."""
+        return True
+
+
+@dataclass(frozen=True)
+class AnonymousProfile:
+    """The profile stand-in for a non-registered visitor."""
+
+    user_id: str = ""
+    display_name: str = ""
+    preferred_categories: tuple = ()
+    layout_order: tuple = DEFAULT_LAYOUT
+    show_promos: bool = True
+
+    @property
+    def registered(self) -> bool:
+        """Always False: the default anonymous experience."""
+        return False
+
+
+ANONYMOUS = AnonymousProfile()
+
+
+class ProfileStore:
+    """CRUD over registered-user profiles, DBMS-backed."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        if not db.has_table(PROFILE_TABLE):
+            db.create_table(_PROFILE_SCHEMA)
+        self._table = db.table(PROFILE_TABLE)
+
+    def register(
+        self,
+        user_id: str,
+        display_name: str,
+        preferred_categories: Optional[List[str]] = None,
+        layout_order: Optional[List[str]] = None,
+        show_promos: bool = True,
+    ) -> Profile:
+        """Create a profile for a new registered user."""
+        categories = list(preferred_categories or [])
+        layout = list(layout_order or DEFAULT_LAYOUT)
+        for slot in layout:
+            if slot not in DEFAULT_LAYOUT:
+                raise UnknownUserError(
+                    "layout slot %r is not one of %s" % (slot, DEFAULT_LAYOUT)
+                )
+        self._table.insert(
+            {
+                "user_id": user_id,
+                "display_name": display_name,
+                "preferred_categories": ",".join(categories),
+                "layout_order": ",".join(layout),
+                "show_promos": show_promos,
+            }
+        )
+        return self.get(user_id)
+
+    def get(self, user_id: str) -> Profile:
+        """Profile for a registered user; raises if unknown."""
+        row = self._table.get(user_id)
+        if row is None:
+            raise UnknownUserError("no registered user %r" % user_id)
+        return _profile_from_row(row)
+
+    def lookup(self, user_id: Optional[str]):
+        """Profile for a user id, or :data:`ANONYMOUS` for None/unknown.
+
+        This mirrors the login check a site performs on every request: an
+        unknown or absent user id silently falls back to the default
+        experience rather than failing.
+        """
+        if not user_id:
+            return ANONYMOUS
+        row = self._table.get(user_id)
+        if row is None:
+            return ANONYMOUS
+        return _profile_from_row(row)
+
+    def set_layout(self, user_id: str, layout_order: List[str]) -> None:
+        """Let a registered user reorder their page (dynamic layout!)."""
+        self.get(user_id)  # raises if unknown
+        for slot in layout_order:
+            if slot not in DEFAULT_LAYOUT:
+                raise UnknownUserError(
+                    "layout slot %r is not one of %s" % (slot, DEFAULT_LAYOUT)
+                )
+        self._table.update({"layout_order": ",".join(layout_order)}, key=user_id)
+
+    def set_preferences(self, user_id: str, preferred_categories: List[str]) -> None:
+        """Replace a user's preferred content categories."""
+        self.get(user_id)
+        self._table.update(
+            {"preferred_categories": ",".join(preferred_categories)}, key=user_id
+        )
+
+    def user_ids(self) -> List[str]:
+        """All registered user ids."""
+        return [str(key) for key in self._table.keys()]
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+def _profile_from_row(row: Dict[str, object]) -> Profile:
+    categories = str(row["preferred_categories"])
+    layout = str(row["layout_order"])
+    return Profile(
+        user_id=str(row["user_id"]),
+        display_name=str(row["display_name"]),
+        preferred_categories=tuple(c for c in categories.split(",") if c),
+        layout_order=tuple(s for s in layout.split(",") if s) or DEFAULT_LAYOUT,
+        show_promos=bool(row["show_promos"]),
+    )

@@ -1,0 +1,115 @@
+"""Content repository backed by the relational engine.
+
+Figure 1's workflow is JSP -> Servlet -> CMS -> DBMS: the content management
+system runs personalization logic and *requests data from the DBMS*.  This
+repository does the same — content items live in database tables, so updates
+to them flow through the trigger bus and can invalidate cached fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..database import Database, schema
+from ..errors import ContentNotFound
+
+CONTENT_TABLE = "cms_content"
+
+_CONTENT_SCHEMA = schema(
+    CONTENT_TABLE,
+    [
+        ("content_id", "str"),
+        ("kind", "str"),        # e.g. 'article', 'promo', 'headline'
+        ("category", "str"),    # grouping key used by category pages
+        ("title", "str"),
+        ("body", "str"),
+        ("rank", "int"),        # display ordering within a category
+        ("updated_at", "float"),
+    ],
+    primary_key="content_id",
+)
+
+
+class ContentRepository:
+    """CRUD over content items, with category-indexed retrieval.
+
+    The repository owns its table inside a caller-provided
+    :class:`~repro.database.Database`, so multiple subsystems (catalog,
+    news, promos) can share one DBMS exactly as a real site would.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        if not db.has_table(CONTENT_TABLE):
+            table = db.create_table(_CONTENT_SCHEMA)
+            table.create_index("category")
+            table.create_index("kind")
+        self._table = db.table(CONTENT_TABLE)
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(
+        self,
+        content_id: str,
+        kind: str,
+        category: str,
+        title: str,
+        body: str,
+        rank: int = 0,
+        updated_at: float = 0.0,
+    ) -> None:
+        """Insert a content item, or fully replace it if it exists."""
+        row = {
+            "content_id": content_id,
+            "kind": kind,
+            "category": category,
+            "title": title,
+            "body": body,
+            "rank": rank,
+            "updated_at": float(updated_at),
+        }
+        if content_id in self._table:
+            changes = {k: v for k, v in row.items() if k != "content_id"}
+            self._table.update(changes, key=content_id)
+        else:
+            self._table.insert(row)
+
+    def touch(self, content_id: str, body: str, updated_at: float) -> None:
+        """Update an item's body (e.g. refreshed headline or quote text)."""
+        if content_id not in self._table:
+            raise ContentNotFound("no content item %r" % content_id)
+        self._table.update({"body": body, "updated_at": float(updated_at)}, key=content_id)
+
+    def remove(self, content_id: str) -> None:
+        """Delete one content item; raises if absent."""
+        if self._table.delete(key=content_id) == 0:
+            raise ContentNotFound("no content item %r" % content_id)
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, content_id: str) -> Dict[str, object]:
+        """Fetch one content item by id; raises if absent."""
+        row = self._table.get(content_id)
+        if row is None:
+            raise ContentNotFound("no content item %r" % content_id)
+        return row
+
+    def by_category(
+        self, category: str, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Items in a category ordered by rank (the category-page query)."""
+        rows = self._table.lookup("category", category)
+        if kind is not None:
+            rows = [row for row in rows if row["kind"] == kind]
+        rows.sort(key=lambda row: (row["rank"], row["content_id"]))
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    def categories(self) -> List[str]:
+        """All distinct content categories, sorted."""
+        seen = sorted({row["category"] for row in self._table.scan()})
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,210 @@
+"""The Back End Monitor (BEM), §4.3.
+
+The BEM "resides at the back end and has two primary functions:
+(1) managing the cache for the DPC, and (2) caching intermediate objects."
+
+Function (1) is the run-time protocol of §4.3.2: when a tagged code block is
+encountered, look up its fragmentID in the cache directory and emit either
+
+* **case 1** (miss / invalid): insert a directory entry, run the block to
+  generate the content, and write a ``SET`` instruction to the template; or
+* **case 2** (fresh hit): write only a ``GET`` instruction — the block's
+  body never runs and its bytes never cross the wire.
+
+Function (2) is an intermediate-object cache (:class:`ObjectCache`): the
+user-profile object of the §3.2.2 example is fetched once per request chain
+and shared by every fragment that derives from it, which is the semantic
+interdependence that defeats ESI-style page factoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..network.clock import SimulatedClock
+from .cache_directory import CacheDirectory
+from .fragments import FragmentID, FragmentMetadata
+from .invalidation import InvalidationManager
+from .replacement import ReplacementPolicy, make_policy
+from .template import (
+    DEFAULT_CONFIG,
+    GetInstruction,
+    Instruction,
+    Literal,
+    SetInstruction,
+    TemplateConfig,
+)
+
+
+@dataclass
+class BemStats:
+    """Run-time counters for experiments and monitoring."""
+
+    blocks_processed: int = 0
+    cacheable_blocks: int = 0
+    fragment_hits: int = 0
+    fragment_misses: int = 0
+    bytes_generated: int = 0      # fragment bytes actually computed
+    bytes_served_from_dpc: int = 0  # fragment bytes replaced by GET tags
+    object_hits: int = 0
+    object_misses: int = 0
+
+    @property
+    def fragment_hit_ratio(self) -> float:
+        """Directory hits over all cacheable-block accesses."""
+        total = self.fragment_hits + self.fragment_misses
+        if total == 0:
+            return 0.0
+        return self.fragment_hits / total
+
+
+class ObjectCache:
+    """BEM function (2): memoized intermediate (programmatic) objects.
+
+    Keys are arbitrary strings (e.g. ``profile:bob``); values arbitrary
+    Python objects.  Entries honor a TTL and can be invalidated explicitly
+    or wholesale.  This is component-level caching in the style the authors
+    describe in their VLDB'01 work, scoped to what the reproduction needs.
+    """
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self._entries: Dict[str, Tuple[object, Optional[float], float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(
+        self,
+        key: str,
+        compute: Callable[[], object],
+        ttl: Optional[float] = None,
+    ) -> object:
+        """Return the cached object for ``key``, computing it on a miss."""
+        now = self._clock.now()
+        cached = self._entries.get(key)
+        if cached is not None:
+            value, entry_ttl, created_at = cached
+            if entry_ttl is None or now < created_at + entry_ttl:
+                self.hits += 1
+                return value
+            del self._entries[key]
+        self.misses += 1
+        value = compute()
+        self._entries[key] = (value, ttl, now)
+        return value
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one memoized object; True if it existed."""
+        return self._entries.pop(key, None) is not None
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every object whose key starts with ``prefix``."""
+        doomed = [key for key in self._entries if key.startswith(prefix)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every memoized object."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class BackEndMonitor:
+    """Observes script execution and writes the page template (§4.3.2)."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        clock: Optional[SimulatedClock] = None,
+        policy: Optional[ReplacementPolicy] = None,
+        template_config: TemplateConfig = DEFAULT_CONFIG,
+    ) -> None:
+        if capacity > template_config.max_key + 1:
+            raise ConfigurationError(
+                "capacity %d exceeds the %d keys representable with key_width=%d"
+                % (capacity, template_config.max_key + 1, template_config.key_width)
+            )
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.directory = CacheDirectory(capacity, policy=policy)
+        self.invalidation = InvalidationManager(self.directory)
+        self.objects = ObjectCache(self.clock)
+        self.template_config = template_config
+        self.stats = BemStats()
+
+    @classmethod
+    def with_policy(cls, capacity: int, policy_name: str, **kwargs) -> "BackEndMonitor":
+        """Construct a BEM with a replacement policy chosen by name."""
+        return cls(capacity=capacity, policy=make_policy(policy_name), **kwargs)
+
+    # -- the run-time protocol ----------------------------------------------------
+
+    def process_block(
+        self,
+        fragment_id: FragmentID,
+        metadata: FragmentMetadata,
+        generate: Callable[[], str],
+    ) -> Instruction:
+        """Handle one tagged code block; returns the template instruction.
+
+        ``generate`` is the block's body.  It is invoked *only* on a miss —
+        skipping it on hits is where the server-side computation savings of
+        the approach come from.
+        """
+        self.stats.blocks_processed += 1
+        now = self.clock.now()
+        if not metadata.cacheable:
+            # Untagged block (X_j = 0): always executes, ships as literal.
+            content = generate()
+            self.stats.bytes_generated += len(content.encode("utf-8"))
+            return Literal(content)
+
+        self.stats.cacheable_blocks += 1
+        entry = self.directory.lookup(fragment_id, now)
+        if entry is not None:
+            # Case 2: fresh hit -> GET instruction only.
+            self.stats.fragment_hits += 1
+            self.stats.bytes_served_from_dpc += entry.size_bytes
+            return GetInstruction(entry.dpc_key)
+
+        # Case 1: miss or invalid -> generate, insert entry, SET instruction.
+        self.stats.fragment_misses += 1
+        content = generate()
+        size = len(content.encode("utf-8"))
+        self.stats.bytes_generated += size
+        entry = self.directory.insert(fragment_id, metadata, size, now)
+        if metadata.dependencies:
+            self.invalidation.watch(fragment_id, tuple(metadata.dependencies))
+        return SetInstruction(entry.dpc_key, content)
+
+    # -- management surface ---------------------------------------------------------
+
+    def attach_database(self, bus) -> None:
+        """Wire a database's trigger bus into the invalidation manager."""
+        self.invalidation.attach(bus)
+
+    def invalidate_fragment(
+        self, name: str, params: Optional[Dict[str, object]] = None
+    ) -> bool:
+        """Explicit invalidation by fragment identity (admin/API surface)."""
+        return self.directory.invalidate(FragmentID.create(name, params))
+
+    def invalidate_block(self, name: str) -> int:
+        """Invalidate every cached instance of a block, across parameters."""
+        return self.directory.invalidate_where(
+            lambda entry: entry.fragment_id.name == name
+        )
+
+    def flush(self) -> int:
+        """Invalidate everything (e.g. on deploy of new script versions)."""
+        self.objects.clear()
+        return self.directory.invalidate_all()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Directory hits over all cacheable-block accesses."""
+        return self.stats.fragment_hit_ratio

@@ -1,0 +1,301 @@
+"""The BEM's cache directory and freeList (§4.3.3).
+
+The cache directory "keeps track of the fragments in the DPC and their
+respective metadata" with the structure::
+
+    fragmentID   unique fragment identifier (name+parameterList)
+    dpcKey       unique fragment identifier within the DPC
+    isValid      flag to indicate validity of fragment
+    ttl          time-to-live value for fragment
+
+Slot lifecycle, exactly as the paper describes it:
+
+* A new fragment takes a dpcKey from the **freeList** when its entry is
+  inserted.
+* Invalidation (TTL expiry, data-source update, or replacement) only sets
+  ``isValid = FALSE`` and pushes the dpcKey back onto the freeList — "no
+  action is taken by the DPC"; the slot's stale bytes simply remain until
+  the key is reassigned and a SET overwrites them.
+* Because the freeList holds every key not backing a valid entry, its
+  capacity need only equal the maximum cache size.
+
+The invariant that a dpcKey is *either* on the freeList *or* backing
+exactly one valid entry (never both, never neither) is enforced here and
+property-tested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..errors import ConfigurationError, DirectoryFullError
+from .fragments import FragmentID, FragmentMetadata
+from .replacement import LruPolicy, ReplacementPolicy
+
+
+@dataclass
+class DirectoryEntry:
+    """One cache-directory row."""
+
+    fragment_id: FragmentID
+    dpc_key: int
+    is_valid: bool = True
+    ttl: Optional[float] = None
+    created_at: float = 0.0
+    last_access: float = 0.0
+    hits: int = 0
+    size_bytes: int = 0
+    dependencies: tuple = ()
+
+    def fresh(self, now: float) -> bool:
+        """Valid and within TTL."""
+        if not self.is_valid:
+            return False
+        if self.ttl is None:
+            return True
+        return now < self.created_at + self.ttl
+
+
+class FreeList:
+    """FIFO queue of reusable dpcKeys.
+
+    FIFO order maximizes the time before a recycled key's stale DPC slot is
+    overwritten, which is the most adversarial schedule for the safety
+    property that stale slots are never *served* — good for testing, and
+    faithful to the paper's "inserted at the end of the freeList".
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("freeList capacity must be positive")
+        self.capacity = capacity
+        self._keys: Deque[int] = deque(range(capacity))
+        self._members = set(range(capacity))
+
+    def pop(self) -> int:
+        """Take the next reusable dpcKey (FIFO)."""
+        if not self._keys:
+            raise DirectoryFullError("freeList is empty")
+        key = self._keys.popleft()
+        self._members.discard(key)
+        return key
+
+    def push(self, key: int) -> None:
+        """Return a dpcKey for reuse (appended at the end, §4.3.3)."""
+        if not 0 <= key < self.capacity:
+            raise ConfigurationError(
+                "dpcKey %d out of range for capacity %d" % (key, self.capacity)
+            )
+        if key in self._members:
+            raise ConfigurationError("dpcKey %d is already on the freeList" % key)
+        self._keys.append(key)
+        self._members.add(key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._members
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+@dataclass
+class DirectoryStats:
+    """Counters exposed for experiments."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    invalidations: int = 0
+    ttl_expirations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over all lookups."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class CacheDirectory:
+    """fragmentID -> :class:`DirectoryEntry`, plus the freeList.
+
+    ``capacity`` is both the number of DPC slots and the directory-size
+    threshold at which the replacement manager starts evicting.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("directory capacity must be positive")
+        self.capacity = capacity
+        self.policy = policy if policy is not None else LruPolicy()
+        self.free_list = FreeList(capacity)
+        self._entries: Dict[str, DirectoryEntry] = {}
+        self._valid_by_key: Dict[int, DirectoryEntry] = {}
+        self.stats = DirectoryStats()
+
+    # -- lookup -------------------------------------------------------------------
+
+    def lookup(self, fragment_id: FragmentID, now: float) -> Optional[DirectoryEntry]:
+        """Run-time directory probe.
+
+        Returns the entry on a *fresh* hit (recording the access), ``None``
+        on a miss.  A TTL-expired entry is invalidated on the spot — lazy
+        expiry, so no background sweeper is required for correctness (one
+        exists anyway for memory hygiene; see :meth:`expire_stale`).
+        """
+        self.stats.lookups += 1
+        entry = self._entries.get(fragment_id.canonical())
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.is_valid and not entry.fresh(now):
+            self.stats.ttl_expirations += 1
+            self._invalidate_entry(entry)
+        if not entry.is_valid:
+            self.stats.misses += 1
+            return None
+        entry.last_access = now
+        entry.hits += 1
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, fragment_id: FragmentID) -> Optional[DirectoryEntry]:
+        """Read an entry without touching access stats or TTL state."""
+        return self._entries.get(fragment_id.canonical())
+
+    # -- insertion -----------------------------------------------------------------
+
+    def insert(
+        self,
+        fragment_id: FragmentID,
+        metadata: FragmentMetadata,
+        size_bytes: int,
+        now: float,
+    ) -> DirectoryEntry:
+        """Create the entry for a just-generated fragment (miss case 1).
+
+        Allocates a dpcKey from the freeList, evicting a victim first when
+        the cache is full.  Any stale (invalid) entry for the same
+        fragmentID is replaced.
+        """
+        canonical = fragment_id.canonical()
+        old = self._entries.get(canonical)
+        if old is not None and old.is_valid:
+            # Re-inserting over a valid entry means the caller decided to
+            # regenerate (e.g. forced refresh): recycle the old key first.
+            self._invalidate_entry(old)
+        if len(self.free_list) == 0:
+            self._evict_one(now)
+        key = self.free_list.pop()
+        entry = DirectoryEntry(
+            fragment_id=fragment_id,
+            dpc_key=key,
+            is_valid=True,
+            ttl=metadata.ttl,
+            created_at=now,
+            last_access=now,
+            size_bytes=size_bytes,
+            dependencies=tuple(metadata.dependencies),
+        )
+        self._entries[canonical] = entry
+        self._valid_by_key[key] = entry
+        self.stats.insertions += 1
+        return entry
+
+    def _evict_one(self, now: float) -> None:
+        victim = self.policy.select_victim(self._valid_by_key.values(), now)
+        if victim is None:
+            raise DirectoryFullError(
+                "directory is full and no entry is eligible for eviction"
+            )
+        self.stats.evictions += 1
+        self._invalidate_entry(victim)
+
+    # -- invalidation ----------------------------------------------------------------
+
+    def invalidate(self, fragment_id: FragmentID) -> bool:
+        """Invalidate one fragment by identity; True if it was valid."""
+        entry = self._entries.get(fragment_id.canonical())
+        if entry is None or not entry.is_valid:
+            return False
+        self.stats.invalidations += 1
+        self._invalidate_entry(entry)
+        return True
+
+    def invalidate_where(self, predicate) -> int:
+        """Invalidate every valid entry matching ``predicate(entry)``."""
+        victims = [
+            entry for entry in self._valid_by_key.values() if predicate(entry)
+        ]
+        for entry in victims:
+            self.stats.invalidations += 1
+            self._invalidate_entry(entry)
+        return len(victims)
+
+    def invalidate_all(self) -> int:
+        """Invalidate every valid entry; returns the count."""
+        return self.invalidate_where(lambda entry: True)
+
+    def expire_stale(self, now: float) -> int:
+        """Background sweep: invalidate every TTL-expired entry."""
+        expired = [
+            entry
+            for entry in self._valid_by_key.values()
+            if not entry.fresh(now)
+        ]
+        for entry in expired:
+            self.stats.ttl_expirations += 1
+            self._invalidate_entry(entry)
+        return len(expired)
+
+    def _invalidate_entry(self, entry: DirectoryEntry) -> None:
+        """§4.3.3: flip isValid and push the dpcKey onto the freeList."""
+        if not entry.is_valid:
+            return
+        entry.is_valid = False
+        del self._valid_by_key[entry.dpc_key]
+        self.free_list.push(entry.dpc_key)
+        # Drop the stale record entirely: the paper keeps it only until the
+        # fragment is re-requested, and removing it bounds directory memory.
+        canonical = entry.fragment_id.canonical()
+        if self._entries.get(canonical) is entry:
+            del self._entries[canonical]
+
+    # -- introspection -------------------------------------------------------------
+
+    def valid_entries(self) -> List[DirectoryEntry]:
+        """All currently valid directory entries."""
+        return list(self._valid_by_key.values())
+
+    def valid_count(self) -> int:
+        """Number of valid entries (resident fragments)."""
+        return len(self._valid_by_key)
+
+    def entry_for_key(self, dpc_key: int) -> Optional[DirectoryEntry]:
+        """The valid entry backing a dpcKey, or None."""
+        return self._valid_by_key.get(dpc_key)
+
+    def check_invariants(self) -> None:
+        """Assert the slot-discipline invariant (used by property tests)."""
+        free = {key for key in range(self.capacity) if key in self.free_list}
+        valid = set(self._valid_by_key)
+        overlap = free & valid
+        if overlap:
+            raise AssertionError("keys both free and valid: %s" % sorted(overlap))
+        missing = set(range(self.capacity)) - free - valid
+        if missing:
+            raise AssertionError("keys neither free nor valid: %s" % sorted(missing))
+        for key, entry in self._valid_by_key.items():
+            if entry.dpc_key != key or not entry.is_valid:
+                raise AssertionError("corrupt valid-by-key mapping at %d" % key)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,144 @@
+"""Cache coherency across distributed forward-proxy DPCs (§7 extension).
+
+With multiple DPCs "multiple copies of a particular fragment may reside on
+different dynamic proxy caches...  Some mechanism must be in place to ensure
+that correct responses are served to end users from the caching system."
+
+The reproduction keeps the paper's single-BEM architecture: the origin's
+BEM remains the sole authority over validity, holding one cache directory
+*per proxy* (fragment copies on different proxies are independent entries
+with independent dpcKeys).  Coherency then reduces to fanning every
+invalidation out to all per-proxy directories, and the dpcKey trick still
+eliminates explicit BEM->DPC messages — an invalidated copy is simply
+overwritten by the next SET routed to that proxy.
+
+:class:`ProxyGroup` owns the per-proxy (BEM, DPC) pairs and the fan-out.
+``coherency_messages`` counts the logical invalidation fan-out so the
+scalability bench can chart coherency traffic against the proxy count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..database.triggers import TriggerBus
+from ..errors import ConfigurationError
+from ..network.clock import SimulatedClock
+from .bem import BackEndMonitor
+from .dpc import DynamicProxyCache
+from .replacement import make_policy
+from .template import DEFAULT_CONFIG, TemplateConfig
+
+
+class ProxyGroup:
+    """A set of named forward proxies sharing one origin BEM authority."""
+
+    def __init__(
+        self,
+        capacity_per_proxy: int = 1024,
+        clock: Optional[SimulatedClock] = None,
+        template_config: TemplateConfig = DEFAULT_CONFIG,
+        policy_name: str = "lru",
+    ) -> None:
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.capacity = capacity_per_proxy
+        self.template_config = template_config
+        self.policy_name = policy_name
+        self._members: Dict[str, Tuple[BackEndMonitor, DynamicProxyCache]] = {}
+        self._buses: List[TriggerBus] = []
+        self.coherency_messages = 0
+
+    # -- membership ----------------------------------------------------------------
+
+    def add_proxy(self, name: str) -> Tuple[BackEndMonitor, DynamicProxyCache]:
+        """Add an edge proxy: a fresh (BEM, DPC) pair."""
+        if name in self._members:
+            raise ConfigurationError("proxy %r already in group" % name)
+        bem = BackEndMonitor(
+            capacity=self.capacity,
+            clock=self.clock,
+            policy=make_policy(self.policy_name),
+            template_config=self.template_config,
+        )
+        for bus in self._buses:
+            bem.attach_database(bus)
+        dpc = DynamicProxyCache(
+            capacity=self.capacity, template_config=self.template_config, name=name
+        )
+        self._members[name] = (bem, dpc)
+        return bem, dpc
+
+    def remove_proxy(self, name: str) -> None:
+        """Remove a proxy and detach its invalidation wiring."""
+        if name not in self._members:
+            raise ConfigurationError("proxy %r not in group" % name)
+        bem, _ = self._members.pop(name)
+        bem.invalidation.detach_all()
+
+    def member(self, name: str) -> Tuple[BackEndMonitor, DynamicProxyCache]:
+        """The (BEM, DPC) pair for a proxy name."""
+        try:
+            return self._members[name]
+        except KeyError:
+            raise ConfigurationError("proxy %r not in group" % name) from None
+
+    def names(self) -> List[str]:
+        """All member proxy names, sorted."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- coherency ----------------------------------------------------------------
+
+    def attach_database(self, bus: TriggerBus) -> None:
+        """Every member BEM directory observes the data source directly.
+
+        Each database change reaches every per-proxy directory; the
+        message count models the invalidation fan-out a distributed
+        deployment would pay on its control plane.
+        """
+        self._buses.append(bus)
+        for bem, _ in self._members.values():
+            bem.attach_database(bus)
+        bus.subscribe(self._count_fanout)
+
+    def _count_fanout(self, event) -> None:
+        self.coherency_messages += len(self._members)
+
+    def invalidate_fragment(self, name: str, params=None) -> int:
+        """Explicit invalidation broadcast to every proxy's directory."""
+        invalidated = 0
+        for bem, _ in self._members.values():
+            self.coherency_messages += 1
+            if bem.invalidate_fragment(name, params):
+                invalidated += 1
+        return invalidated
+
+    def invalidate_block(self, name: str) -> int:
+        """Broadcast block-wide invalidation to every proxy."""
+        invalidated = 0
+        for bem, _ in self._members.values():
+            self.coherency_messages += 1
+            invalidated += bem.invalidate_block(name)
+        return invalidated
+
+    def flush_all(self) -> int:
+        """Flush every proxy's directory, objects, and slots."""
+        flushed = 0
+        for name, (bem, dpc) in self._members.items():
+            flushed += bem.flush()
+            dpc.clear()
+            self.coherency_messages += 1
+        return flushed
+
+    # -- reporting ------------------------------------------------------------------
+
+    def group_hit_ratio(self) -> float:
+        """Hit ratio aggregated over all member BEMs."""
+        hits = sum(bem.stats.fragment_hits for bem, _ in self._members.values())
+        misses = sum(bem.stats.fragment_misses for bem, _ in self._members.values())
+        total = hits + misses
+        if total == 0:
+            return 0.0
+        return hits / total

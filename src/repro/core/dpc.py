@@ -1,0 +1,194 @@
+"""The Dynamic Proxy Cache (DPC), §4.3.3.
+
+"The structure of the DPC cache is straightforward: it is implemented as an
+in-memory array of pointers to cached fragments, where the DpcKey serves as
+the array index."
+
+The DPC sits outside the site infrastructure.  For every response coming
+from the origin it scans the byte stream for instruction tags (one linear
+KMP pass — the ``z``-per-byte cost of the Section 5 analysis), executes the
+SET/GET instructions against its slot array, and emits the assembled page.
+
+Note the deliberate asymmetry with the BEM: the DPC holds no metadata at
+all — no TTLs, no validity flags, no fragment identities.  All cache
+management lives in the BEM ("All cache management functionality for the
+DPC is handled by the BEM as well"), and the shared integer dpcKey is the
+entire coordination protocol: no explicit BEM->DPC control messages exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import AssemblyError, ConfigurationError, SlotError
+from .scanner import TagScanner
+from .template import (
+    DEFAULT_CONFIG,
+    SENTINEL,
+    GetInstruction,
+    Literal,
+    SetInstruction,
+    Template,
+    TemplateConfig,
+    parse_template,
+)
+
+
+@dataclass
+class DpcStats:
+    """Per-proxy counters used by the experiment harness."""
+
+    responses_processed: int = 0
+    template_bytes_in: int = 0    # what crossed the origin link (payload)
+    page_bytes_out: int = 0       # what was delivered to clients
+    fragments_set: int = 0
+    fragments_get: int = 0
+    literal_bytes: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        """Bytes the origin did not have to ship because of assembly."""
+        return self.page_bytes_out - self.template_bytes_in
+
+
+@dataclass
+class AssembledPage:
+    """Result of assembling one response at the proxy."""
+
+    html: str
+    template_bytes: int
+    page_bytes: int
+    fragments_set: int
+    fragments_get: int
+
+    @property
+    def expansion_ratio(self) -> float:
+        """page bytes / template bytes — how much the DPC 'inflated'."""
+        if self.template_bytes == 0:
+            return 0.0
+        return self.page_bytes / self.template_bytes
+
+
+class DynamicProxyCache:
+    """Slot array plus the scan-and-assemble loop."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        template_config: TemplateConfig = DEFAULT_CONFIG,
+        name: str = "dpc",
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("DPC capacity must be positive")
+        if capacity > template_config.max_key + 1:
+            raise ConfigurationError(
+                "capacity %d exceeds the %d keys representable with key_width=%d"
+                % (capacity, template_config.max_key + 1, template_config.key_width)
+            )
+        self.name = name
+        self.capacity = capacity
+        self.template_config = template_config
+        self._slots: List[Optional[str]] = [None] * capacity
+        self.scanner = TagScanner(SENTINEL)
+        self.stats = DpcStats()
+
+    # -- slot primitives ---------------------------------------------------------
+
+    def store(self, key: int, content: str) -> None:
+        """Execute a SET: overwrite slot ``key`` with ``content``."""
+        self._check_key(key)
+        self._slots[key] = content
+
+    def fetch(self, key: int) -> str:
+        """Execute a GET: read slot ``key``; empty slots are a protocol error."""
+        self._check_key(key)
+        content = self._slots[key]
+        if content is None:
+            raise AssemblyError(
+                "GET for dpcKey %d but slot is empty on %r" % (key, self.name)
+            )
+        return content
+
+    def slot_in_use(self, key: int) -> bool:
+        """Whether slot ``key`` currently holds content."""
+        self._check_key(key)
+        return self._slots[key] is not None
+
+    def occupied_slots(self) -> int:
+        """How many slots hold content."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.capacity:
+            raise SlotError(
+                "dpcKey %d out of range [0, %d) on %r" % (key, self.capacity, self.name)
+            )
+
+    # -- the assembly loop --------------------------------------------------------
+
+    def process_response(self, wire: str) -> AssembledPage:
+        """Scan an origin response and assemble the user-deliverable page.
+
+        This is the ISAPI-filter equivalent: one pass over the bytes, tags
+        dispatched as encountered, literals copied through.
+        """
+        template = parse_template(wire, self.template_config, scanner=self.scanner)
+        return self.assemble(template, wire_bytes=len(wire.encode("utf-8")))
+
+    def assemble(self, template: Template, wire_bytes: Optional[int] = None) -> AssembledPage:
+        """Execute a parsed template against the slot array."""
+        if wire_bytes is None:
+            wire_bytes = template.wire_bytes()
+        parts: List[str] = []
+        sets = 0
+        gets = 0
+        for instruction in template.instructions:
+            if isinstance(instruction, Literal):
+                parts.append(instruction.text)
+            elif isinstance(instruction, SetInstruction):
+                self.store(instruction.key, instruction.content)
+                parts.append(instruction.content)
+                sets += 1
+            elif isinstance(instruction, GetInstruction):
+                parts.append(self.fetch(instruction.key))
+                gets += 1
+            else:  # pragma: no cover - exhaustive over Instruction
+                raise AssemblyError("unknown instruction %r" % (instruction,))
+        html = "".join(parts)
+        page_bytes = len(html.encode("utf-8"))
+
+        self.stats.responses_processed += 1
+        self.stats.template_bytes_in += wire_bytes
+        self.stats.page_bytes_out += page_bytes
+        self.stats.fragments_set += sets
+        self.stats.fragments_get += gets
+        self.stats.literal_bytes += template.literal_bytes
+        return AssembledPage(
+            html=html,
+            template_bytes=wire_bytes,
+            page_bytes=page_bytes,
+            fragments_set=sets,
+            fragments_get=gets,
+        )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every slot (e.g. proxy restart).  Safe: the BEM re-SETs on
+        the next request for each fragment because its directory is the
+        source of truth — though after a restart the directory must be
+        flushed too, or GETs would reference empty slots."""
+        self._slots = [None] * self.capacity
+
+    @property
+    def bytes_scanned(self) -> int:
+        """Total response bytes KMP-scanned so far."""
+        return self.scanner.bytes_scanned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DynamicProxyCache(%r, %d/%d slots)" % (
+            self.name,
+            self.occupied_slots(),
+            self.capacity,
+        )

@@ -1,0 +1,153 @@
+"""Fragment identity, metadata, and data dependencies.
+
+The tagging process (§4.3.1) "assigns a unique identifier to each cacheable
+fragment, along with the appropriate metadata (e.g., time-to-live)".  The
+cache directory keys entries by ``fragmentID``, which the paper defines as
+``name + parameterList``: the block name identifies the tagged code block,
+and the parameter list captures every input that changes the block's output
+(query string parameters, the user id for personalized blocks, ...).
+
+Getting the parameter list right is what makes the DPC *correct* where
+URL-keyed proxies are not: Bob's greeting block has fragmentID
+``greeting?user=bob`` while Alice's (anonymous) has ``greeting?user=``, so
+they can never collide in the directory even though their request URL is
+identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class FragmentID:
+    """Unique fragment identifier: block name plus canonicalized parameters.
+
+    Parameters are sorted by name so that logically identical invocations
+    map to the same identifier regardless of call-site argument order.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, str], ...] = ()
+
+    @staticmethod
+    def create(name: str, params: Optional[Mapping[str, object]] = None) -> "FragmentID":
+        """Build a FragmentID from a name and a parameter mapping."""
+        if not name:
+            raise ConfigurationError("fragment name cannot be empty")
+        items: Tuple[Tuple[str, str], ...] = ()
+        if params:
+            items = tuple(sorted((str(k), str(v)) for k, v in params.items()))
+        return FragmentID(name=name, params=items)
+
+    def canonical(self) -> str:
+        """The string form stored in the cache directory.
+
+        ``name?k1=v1&k2=v2`` — this is also (deliberately) the quantity
+        whose byte length motivates the integer dpcKey: fragmentIDs "are
+        typically quite long, especially those that include a list of
+        parameters" (§4.3.3).
+        """
+        if not self.params:
+            return self.name
+        query = "&".join("%s=%s" % (k, v) for k, v in self.params)
+        return "%s?%s" % (self.name, query)
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A data-source dependency of a fragment.
+
+    A fragment depends on a ``table``, optionally narrowed along three
+    independent axes:
+
+    * ``key`` — one specific row (by primary key);
+    * ``column`` — only changes that touch this column matter;
+    * ``where_column``/``where_value`` — only rows whose value in
+      ``where_column`` equals ``where_value`` matter (e.g. a category
+      listing depends on ``products`` rows *in that category*).
+
+    A database :class:`ChangeEvent` matches when the table matches and every
+    given narrowing also matches.
+    """
+
+    table: str
+    key: Optional[object] = None
+    column: Optional[str] = None
+    where_column: Optional[str] = None
+    where_value: Optional[object] = None
+
+    def matches(
+        self,
+        table: str,
+        key: object,
+        changed_columns: Iterable[str],
+        row: Optional[Dict[str, object]] = None,
+        old_row: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Whether a change event falls within this dependency."""
+        if table != self.table:
+            return False
+        if self.key is not None and key != self.key:
+            return False
+        if self.column is not None:
+            changed = tuple(changed_columns)
+            # Inserts/deletes report no changed columns: treat them as
+            # touching every column of the row.
+            if changed and self.column not in changed:
+                return False
+        if self.where_column is not None:
+            # Match against either image: an update that moves a row into
+            # OR out of the watched set invalidates fragments built on it.
+            images = [img for img in (row, old_row) if img is not None]
+            if images and not any(
+                img.get(self.where_column) == self.where_value for img in images
+            ):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class FragmentMetadata:
+    """Cacheability settings attached to a tagged code block.
+
+    ``ttl`` is in (virtual) seconds; ``None`` means no time-based expiry.
+    ``dependencies`` drive update-based invalidation.  ``cacheable=False``
+    marks a block that was deliberately left untagged — it always executes
+    and ships with the page (the ``X_j = 0`` case of the analysis).
+    """
+
+    ttl: Optional[float] = None
+    dependencies: Tuple[Dependency, ...] = ()
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ttl is not None and self.ttl <= 0:
+            raise ConfigurationError("ttl must be positive when given")
+
+
+@dataclass
+class Fragment:
+    """A generated fragment: identity, content, metadata, birth time."""
+
+    fragment_id: FragmentID
+    content: str
+    metadata: FragmentMetadata = field(default_factory=FragmentMetadata)
+    created_at: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        """UTF-8 byte length of the fragment content."""
+        return len(self.content.encode("utf-8"))
+
+    def expired(self, now: float) -> bool:
+        """Whether the TTL has elapsed at virtual time ``now``."""
+        if self.metadata.ttl is None:
+            return False
+        return now >= self.created_at + self.metadata.ttl

@@ -1,0 +1,109 @@
+"""The BEM's cache invalidation manager (§4.3.3).
+
+"A cache invalidation manager monitors fragments to determine when they
+become invalid.  Fragments may become invalid due to, for instance,
+expiration of the ttl or updates to the underlying data sources."
+
+TTL expiry is handled lazily inside the cache directory; this module covers
+the *data-source* half: it subscribes to a database's trigger bus, keeps a
+reverse index from tables to the fragments that depend on them, and
+invalidates directory entries when a matching change commits.
+
+The fine granularity here — per-row, per-column dependencies — is what lets
+the brokerage example invalidate only the price-quote fragment when a quote
+ticks, leaving headlines and historical data cached (the §3.2.1 critique of
+page-level invalidation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..database.triggers import ChangeEvent, TriggerBus
+from .cache_directory import CacheDirectory
+from .fragments import Dependency, FragmentID
+
+
+class InvalidationManager:
+    """Maps committed database changes to fragment invalidations."""
+
+    def __init__(self, directory: CacheDirectory) -> None:
+        self.directory = directory
+        #: table -> canonical fragmentID -> (FragmentID, dependencies on that table)
+        self._watchers: Dict[str, Dict[str, Tuple[FragmentID, Tuple[Dependency, ...]]]] = {}
+        self._buses: List[TriggerBus] = []
+        self.events_seen = 0
+        self.fragments_invalidated = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, bus: TriggerBus) -> None:
+        """Subscribe to every table of a database's trigger bus."""
+        bus.subscribe(self.on_change)
+        self._buses.append(bus)
+
+    def detach_all(self) -> None:
+        """Unsubscribe from every attached trigger bus."""
+        for bus in self._buses:
+            bus.unsubscribe(self.on_change)
+        self._buses.clear()
+
+    # -- registration -----------------------------------------------------------
+
+    def watch(self, fragment_id: FragmentID, dependencies: Tuple[Dependency, ...]) -> None:
+        """Start watching a freshly cached fragment's dependencies.
+
+        Called by the BEM whenever it inserts a directory entry.  Fragments
+        with no dependencies are never registered (nothing to watch).
+        """
+        canonical = fragment_id.canonical()
+        for dependency in dependencies:
+            table_watchers = self._watchers.setdefault(dependency.table, {})
+            existing = table_watchers.get(canonical)
+            if existing is None:
+                table_watchers[canonical] = (fragment_id, (dependency,))
+            else:
+                table_watchers[canonical] = (fragment_id, existing[1] + (dependency,))
+
+    def unwatch(self, fragment_id: FragmentID) -> None:
+        """Stop watching one fragment's dependencies."""
+        canonical = fragment_id.canonical()
+        for table_watchers in self._watchers.values():
+            table_watchers.pop(canonical, None)
+
+    def watched_count(self) -> int:
+        """Distinct fragments currently being watched."""
+        seen = set()
+        for table_watchers in self._watchers.values():
+            seen.update(table_watchers)
+        return len(seen)
+
+    # -- event handling ------------------------------------------------------------
+
+    def on_change(self, event: ChangeEvent) -> None:
+        """Trigger-bus callback: invalidate fragments hit by this change."""
+        self.events_seen += 1
+        table_watchers = self._watchers.get(event.table)
+        if not table_watchers:
+            return
+        doomed: List[FragmentID] = []
+        for canonical, (fragment_id, dependencies) in table_watchers.items():
+            entry = self.directory.peek(fragment_id)
+            if entry is None or not entry.is_valid:
+                doomed.append(fragment_id)  # stale watcher; clean it up
+                continue
+            if any(
+                dep.matches(
+                    event.table,
+                    event.key,
+                    event.changed_columns,
+                    row=event.row,
+                    old_row=event.old_row,
+                )
+                for dep in dependencies
+            ):
+                if self.directory.invalidate(fragment_id):
+                    self.fragments_invalidated += 1
+                doomed.append(fragment_id)
+        for fragment_id in doomed:
+            table_watchers.pop(fragment_id.canonical(), None)

@@ -1,0 +1,155 @@
+"""Cache replacement policies for the BEM's replacement manager.
+
+"A cache replacement manager monitors the size of the cache directory and
+selects fragments for replacement when the directory size exceeds some
+specified threshold." (§4.3.3)
+
+The paper does not prescribe a policy, so several classic ones are provided
+and compared in an ablation bench (LRU wins under Zipf-skewed request
+streams, as expected).  A policy sees the candidate directory entries and
+picks a victim; the directory handles the mechanics of marking the victim
+invalid and recycling its dpcKey.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .cache_directory import DirectoryEntry
+
+
+class ReplacementPolicy:
+    """Interface: choose one victim among valid entries."""
+
+    name = "abstract"
+
+    def select_victim(
+        self, entries: Iterable["DirectoryEntry"], now: float
+    ) -> Optional["DirectoryEntry"]:
+        """Choose one entry to evict, or None if no candidates."""
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Evict the least-recently-used entry."""
+
+    name = "lru"
+
+    def select_victim(self, entries, now):
+        """Pick the entry with the oldest last access."""
+        return min(entries, key=lambda e: (e.last_access, e.dpc_key), default=None)
+
+
+class LfuPolicy(ReplacementPolicy):
+    """Evict the least-frequently-used entry (ties broken by recency)."""
+
+    name = "lfu"
+
+    def select_victim(self, entries, now):
+        """Pick the entry with the fewest hits (recency tiebreak)."""
+        return min(
+            entries, key=lambda e: (e.hits, e.last_access, e.dpc_key), default=None
+        )
+
+
+class FifoPolicy(ReplacementPolicy):
+    """Evict the oldest entry regardless of use."""
+
+    name = "fifo"
+
+    def select_victim(self, entries, now):
+        """Pick the entry created earliest."""
+        return min(entries, key=lambda e: (e.created_at, e.dpc_key), default=None)
+
+
+class TtlAwarePolicy(ReplacementPolicy):
+    """Evict the entry closest to (or past) its TTL expiry.
+
+    Entries without a TTL are considered to expire at infinity, so they are
+    only chosen when every entry is TTL-less (then falls back to LRU order).
+    """
+
+    name = "ttl"
+
+    def select_victim(self, entries, now):
+        """Pick the entry nearest to (or past) TTL expiry."""
+        def remaining(entry):
+            if entry.ttl is None:
+                return (float("inf"), entry.last_access, entry.dpc_key)
+            return (entry.created_at + entry.ttl - now, entry.last_access, entry.dpc_key)
+
+        return min(entries, key=remaining, default=None)
+
+
+class GreedyDualSizePolicy(ReplacementPolicy):
+    """GreedyDual-Size (Cao & Irani 1997): the era's web-caching standard.
+
+    Each entry carries a credit ``H = L + cost/size`` where ``L`` is an
+    inflation value that rises to the victim's credit on every eviction.
+    With cost proportional to regeneration work (we use size itself as the
+    proxy: bigger fragments cost more to rebuild AND to ship), the policy
+    trades off recency, size, and cost in one scalar.  Uses the entry's
+    ``hits`` and ``size_bytes`` plus an internal inflation accumulator —
+    no extra per-entry state is required in the directory.
+    """
+
+    name = "gds"
+
+    def __init__(self, cost_of=None) -> None:
+        """``cost_of(entry) -> float`` overrides the default size-as-cost."""
+        self._inflation = 0.0
+        self._credit: dict = {}  # dpc_key -> (H value, last seen access stamp)
+        self._cost_of = cost_of if cost_of is not None else (
+            lambda entry: float(max(entry.size_bytes, 1))
+        )
+
+    def _credit_of(self, entry) -> float:
+        """Current H value, refreshed on access (hits/last_access moved)."""
+        cached = self._credit.get(entry.dpc_key)
+        stamp = (entry.hits, entry.last_access)
+        if cached is None or cached[1] != stamp:
+            size = float(max(entry.size_bytes, 1))
+            value = self._inflation + self._cost_of(entry) / size
+            self._credit[entry.dpc_key] = (value, stamp)
+            return value
+        return cached[0]
+
+    def select_victim(self, entries, now):
+        """Evict the entry with the lowest credit; inflate L to it."""
+        victim = None
+        lowest = float("inf")
+        for entry in entries:
+            credit = self._credit_of(entry)
+            if credit < lowest or (
+                credit == lowest
+                and victim is not None
+                and entry.dpc_key < victim.dpc_key
+            ):
+                lowest = credit
+                victim = entry
+        if victim is not None:
+            self._inflation = lowest
+            self._credit.pop(victim.dpc_key, None)
+        return victim
+
+
+_POLICIES = {
+    policy.name: policy
+    for policy in (
+        LruPolicy, LfuPolicy, FifoPolicy, TtlAwarePolicy, GreedyDualSizePolicy
+    )
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a policy by name ('lru', 'lfu', 'fifo', 'ttl')."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            "unknown replacement policy %r (expected one of %s)"
+            % (name, sorted(_POLICIES))
+        ) from None

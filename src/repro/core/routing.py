@@ -1,0 +1,150 @@
+"""Request routing across forward-proxy DPCs (§7 extension).
+
+The paper leaves forward-proxy deployment as future work and names request
+routing as the first open issue: "routing that is based on URL is not
+applicable in our case since page fragments cannot be determined from the
+URL".
+
+The routing key therefore cannot be the URL.  What *does* determine a
+request's fragment set is the session (user identity plus site state), so
+this router hashes a session-affinity key onto a consistent-hash ring of
+proxies: all of one user's requests land on the same proxy, their
+personalized fragments accumulate there, and adding/removing a proxy only
+reshuffles ~1/N of sessions.  Failover walks the ring to the next live
+node, which is the paper's "failover seamlessly and transparently"
+requirement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigurationError, RoutingError
+
+
+def _hash64(value: str) -> int:
+    """Stable 64-bit hash (Python's ``hash`` is salted per process)."""
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent hashing with virtual nodes."""
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ConfigurationError("replicas must be positive")
+        self.replicas = replicas
+        self._ring: List[int] = []
+        self._owner: Dict[int, str] = {}
+        self._nodes: Set[str] = set()
+
+    def add_node(self, node: str) -> None:
+        """Place a node's virtual points on the ring."""
+        if node in self._nodes:
+            raise ConfigurationError("node %r is already on the ring" % node)
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _hash64("%s#%d" % (node, replica))
+            # Collisions across distinct nodes are astronomically unlikely
+            # with 64-bit points but keep the first owner deterministic.
+            if point not in self._owner:
+                self._owner[point] = node
+                self._ring.append(point)
+        self._ring.sort()
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node and all its virtual points."""
+        if node not in self._nodes:
+            raise ConfigurationError("node %r is not on the ring" % node)
+        self._nodes.remove(node)
+        self._ring = [p for p in self._ring if self._owner[p] != node]
+        self._owner = {p: n for p, n in self._owner.items() if n != node}
+
+    def nodes(self) -> List[str]:
+        """All member node names, sorted."""
+        return sorted(self._nodes)
+
+    def preference_list(self, key: str, limit: Optional[int] = None) -> List[str]:
+        """Distinct nodes in ring order starting at the key's position."""
+        if not self._ring:
+            return []
+        if limit is None:
+            limit = len(self._nodes)
+        start = bisect_right(self._ring, _hash64(key))
+        seen: List[str] = []
+        for offset in range(len(self._ring)):
+            point = self._ring[(start + offset) % len(self._ring)]
+            node = self._owner[point]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) >= limit:
+                    break
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class RequestRouter:
+    """Routes requests to forward proxies by session affinity, with failover."""
+
+    def __init__(self, replicas: int = 64) -> None:
+        self.ring = ConsistentHashRing(replicas=replicas)
+        self._down: Set[str] = set()
+        self.routed = 0
+        self.failovers = 0
+
+    # -- membership --------------------------------------------------------------
+
+    def add_proxy(self, name: str) -> None:
+        """Add a proxy to the routing ring."""
+        self.ring.add_node(name)
+
+    def remove_proxy(self, name: str) -> None:
+        """Remove a proxy from the ring (and its down-mark)."""
+        self.ring.remove_node(name)
+        self._down.discard(name)
+
+    def mark_down(self, name: str) -> None:
+        """Mark a proxy unavailable; traffic fails over past it."""
+        if name not in self.ring.nodes():
+            raise ConfigurationError("unknown proxy %r" % name)
+        self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        """Restore a proxy to service."""
+        self._down.discard(name)
+
+    def live_proxies(self) -> List[str]:
+        """Proxies currently accepting traffic, sorted."""
+        return [node for node in self.ring.nodes() if node not in self._down]
+
+    # -- routing -----------------------------------------------------------------
+
+    def affinity_key(self, user_id: Optional[str], session_id: Optional[str]) -> str:
+        """The routing key: user identity when known, else the session.
+
+        URL deliberately plays no part — that is the §7 point.
+        """
+        if user_id:
+            return "user:%s" % user_id
+        if session_id:
+            return "session:%s" % session_id
+        return "anonymous"
+
+    def route(self, user_id: Optional[str] = None, session_id: Optional[str] = None) -> str:
+        """Pick the proxy for a request, failing over past down nodes."""
+        key = self.affinity_key(user_id, session_id)
+        preference = self.ring.preference_list(key)
+        if not preference:
+            raise RoutingError("no proxies registered")
+        self.routed += 1
+        for rank, node in enumerate(preference):
+            if node not in self._down:
+                if rank > 0:
+                    self.failovers += 1
+                return node
+        raise RoutingError("all %d proxies are down" % len(preference))

@@ -1,0 +1,103 @@
+"""Knuth-Morris-Pratt string matching for the DPC's template scanner.
+
+The paper justifies its scan-cost assumption by noting that "string matching
+algorithms (e.g., KMP [18]) are linear-time algorithms" (§5).  The DPC must
+scan every response byte exactly once looking for instruction tags; this
+module provides that linear-time scan.
+
+:func:`kmp_find_all` is the general algorithm; :class:`TagScanner` applies
+it to the template tag sentinel and reports scanned-byte counts so that the
+scan-cost analysis (Result 1) can be measured rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ConfigurationError
+
+
+def failure_function(pattern: str) -> List[int]:
+    """KMP failure (longest-proper-prefix-suffix) table for ``pattern``.
+
+    ``table[i]`` is the length of the longest proper prefix of
+    ``pattern[:i+1]`` that is also a suffix of it.
+    """
+    if not pattern:
+        raise ConfigurationError("pattern cannot be empty")
+    table = [0] * len(pattern)
+    length = 0
+    for i in range(1, len(pattern)):
+        while length > 0 and pattern[i] != pattern[length]:
+            length = table[length - 1]
+        if pattern[i] == pattern[length]:
+            length += 1
+        table[i] = length
+    return table
+
+
+def kmp_iter(text: str, pattern: str) -> Iterator[int]:
+    """Yield the start index of every (possibly overlapping) match."""
+    table = failure_function(pattern)
+    matched = 0
+    for i, char in enumerate(text):
+        while matched > 0 and char != pattern[matched]:
+            matched = table[matched - 1]
+        if char == pattern[matched]:
+            matched += 1
+        if matched == len(pattern):
+            yield i - len(pattern) + 1
+            matched = table[matched - 1]
+
+
+def kmp_find_all(text: str, pattern: str) -> List[int]:
+    """All match positions of ``pattern`` in ``text`` (overlaps included)."""
+    return list(kmp_iter(text, pattern))
+
+
+def kmp_find(text: str, pattern: str, start: int = 0) -> int:
+    """First match position at or after ``start``, or -1.
+
+    Equivalent to ``text.find(pattern, start)`` but via KMP; used where the
+    single-pass guarantee matters for the scan-cost accounting.
+    """
+    for position in kmp_iter(text[start:], pattern):
+        return start + position
+    return -1
+
+
+class TagScanner:
+    """Finds instruction-tag sentinels in serialized templates.
+
+    One scanner instance accumulates ``bytes_scanned`` across calls so a
+    DPC can report total scanning work (the ``z`` per-byte cost in the
+    Section 5 comparison).
+    """
+
+    def __init__(self, sentinel: str) -> None:
+        if not sentinel:
+            raise ConfigurationError("sentinel cannot be empty")
+        self.sentinel = sentinel
+        self._failure = failure_function(sentinel)
+        self.bytes_scanned = 0
+
+    def positions(self, text: str) -> List[int]:
+        """Scan ``text`` once, returning all sentinel start positions."""
+        self.bytes_scanned += len(text)
+        matches: List[int] = []
+        matched = 0
+        pattern = self.sentinel
+        table = self._failure
+        for i, char in enumerate(text):
+            while matched > 0 and char != pattern[matched]:
+                matched = table[matched - 1]
+            if char == pattern[matched]:
+                matched += 1
+            if matched == len(pattern):
+                matches.append(i - len(pattern) + 1)
+                matched = table[matched - 1]
+        return matches
+
+    def reset_counters(self) -> None:
+        """Zero the scanned-byte counter."""
+        self.bytes_scanned = 0

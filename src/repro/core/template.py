@@ -1,0 +1,306 @@
+"""The page-template instruction language exchanged between BEM and DPC.
+
+At run time the BEM writes a *page template* instead of a full page: literal
+layout HTML interleaved with instructions (§4.3.2):
+
+* ``SET`` — "insert the fragment into the DPC": carries the dpcKey and the
+  freshly generated fragment content (a directory miss).
+* ``GET`` — "retrieve the fragment from the DPC": carries only the dpcKey
+  (a directory hit).  This is the tiny tag whose size is the ``g`` of the
+  Section 5 analysis.
+
+Wire format
+-----------
+
+Tags are framed by the sentinel ``<~``::
+
+    GET       <~G:0042~>
+    SET open  <~S:0042~>...fragment content...<~E:0042~>
+    escape    <~Q~>          (a literal occurrence of "<~" in content)
+
+With the default ``key_width=4`` a GET tag is exactly **10 bytes** — the
+paper's baseline tag size ``g`` (Table 2) — and a SET costs two tags, giving
+the analysis' miss cost of ``s + 2g``.  dpcKeys are zero-padded integers,
+which is precisely why the paper introduces the integer key: "it reduces the
+tag size" versus embedding the long fragmentID (§4.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+from ..errors import ConfigurationError, TemplateError
+from .scanner import TagScanner
+
+SENTINEL = "<~"
+TAG_CLOSE = "~>"
+ESCAPE_TAG = "<~Q~>"
+
+
+@dataclass(frozen=True)
+class TemplateConfig:
+    """Framing parameters shared by a BEM/DPC pair.
+
+    ``key_width`` fixes the zero-padded dpcKey width, hence the exact tag
+    size ``g = key_width + 6`` bytes and the maximum representable key.
+    Both sides of a deployment must agree on it, like any wire protocol.
+    """
+
+    key_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.key_width < 1:
+            raise ConfigurationError("key_width must be at least 1")
+
+    @property
+    def tag_size(self) -> int:
+        """Bytes per tag: ``<~`` + kind + ``:`` + key + ``~>``."""
+        return self.key_width + 6
+
+    @property
+    def max_key(self) -> int:
+        """Largest dpcKey representable at this key width."""
+        return 10 ** self.key_width - 1
+
+    def format_key(self, key: int) -> str:
+        """Zero-padded decimal rendering of a dpcKey."""
+        if not 0 <= key <= self.max_key:
+            raise ConfigurationError(
+                "dpcKey %d out of range for key_width=%d" % (key, self.key_width)
+            )
+        return "%0*d" % (self.key_width, key)
+
+
+DEFAULT_CONFIG = TemplateConfig()
+
+
+@dataclass(frozen=True)
+class Literal:
+    """Non-cacheable bytes shipped verbatim (layout markup, X_j=0 content)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class GetInstruction:
+    """Splice the DPC slot ``key``'s content here (directory hit)."""
+
+    key: int
+
+
+@dataclass(frozen=True)
+class SetInstruction:
+    """Store ``content`` in slot ``key``, and splice it here (miss)."""
+
+    key: int
+    content: str
+
+
+Instruction = Union[Literal, GetInstruction, SetInstruction]
+
+
+class Template:
+    """An ordered instruction stream plus its serialization/parsing."""
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction] = (),
+        config: TemplateConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.instructions: List[Instruction] = list(instructions)
+        self.config = config
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, instruction: Instruction) -> "Template":
+        """Append one instruction (chainable)."""
+        self.instructions.append(instruction)
+        return self
+
+    def literal(self, text: str) -> "Template":
+        """Append literal page text (chainable)."""
+        return self.add(Literal(text))
+
+    def get(self, key: int) -> "Template":
+        """Append a GET instruction (chainable)."""
+        return self.add(GetInstruction(key))
+
+    def set(self, key: int, content: str) -> "Template":
+        """Append a SET instruction with content (chainable)."""
+        return self.add(SetInstruction(key, content))
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def get_count(self) -> int:
+        """Number of GET instructions."""
+        return sum(1 for i in self.instructions if isinstance(i, GetInstruction))
+
+    @property
+    def set_count(self) -> int:
+        """Number of SET instructions."""
+        return sum(1 for i in self.instructions if isinstance(i, SetInstruction))
+
+    @property
+    def literal_bytes(self) -> int:
+        """Total UTF-8 bytes of literal text."""
+        return sum(
+            len(i.text.encode("utf-8"))
+            for i in self.instructions
+            if isinstance(i, Literal)
+        )
+
+    def normalized(self) -> "Template":
+        """Merge adjacent literals and drop empty ones.
+
+        Serialization implicitly concatenates adjacent literal text, so the
+        normalized form is the canonical one: ``parse(serialize(t))`` equals
+        ``t.normalized()``.
+        """
+        merged: List[Instruction] = []
+        for instruction in self.instructions:
+            if isinstance(instruction, Literal):
+                if not instruction.text:
+                    continue
+                if merged and isinstance(merged[-1], Literal):
+                    merged[-1] = Literal(merged[-1].text + instruction.text)
+                    continue
+            merged.append(instruction)
+        return Template(merged, self.config)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Template):
+            return NotImplemented
+        return (
+            self.instructions == other.instructions and self.config == other.config
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Template(%d instructions, %d GET, %d SET)" % (
+            len(self.instructions),
+            self.get_count,
+            self.set_count,
+        )
+
+    # -- serialization --------------------------------------------------------------
+
+    def serialize(self) -> str:
+        """Render the wire form sent from the BEM to the DPC."""
+        parts: List[str] = []
+        for instruction in self.normalized().instructions:
+            if isinstance(instruction, Literal):
+                parts.append(_escape(instruction.text))
+            elif isinstance(instruction, GetInstruction):
+                parts.append(_tag(self.config, "G", instruction.key))
+            elif isinstance(instruction, SetInstruction):
+                parts.append(_tag(self.config, "S", instruction.key))
+                parts.append(_escape(instruction.content))
+                parts.append(_tag(self.config, "E", instruction.key))
+            else:  # pragma: no cover - exhaustive over Instruction
+                raise TemplateError("unknown instruction %r" % (instruction,))
+        return "".join(parts)
+
+    def wire_bytes(self) -> int:
+        """Size of the serialized template in bytes."""
+        return len(self.serialize().encode("utf-8"))
+
+
+def _tag(config: TemplateConfig, kind: str, key: int) -> str:
+    return "%s%s:%s%s" % (SENTINEL, kind, config.format_key(key), TAG_CLOSE)
+
+
+def _escape(text: str) -> str:
+    return text.replace(SENTINEL, ESCAPE_TAG)
+
+
+def parse_template(
+    wire: str,
+    config: TemplateConfig = DEFAULT_CONFIG,
+    scanner: TagScanner = None,
+) -> Template:
+    """Parse a serialized template back into an instruction stream.
+
+    The scan for tags is a single linear KMP pass (the cost the Section 5
+    analysis charges at ``z`` per byte).  Passing a shared
+    :class:`TagScanner` lets a DPC accumulate scanned-byte counts across
+    responses.
+    """
+    if scanner is None:
+        scanner = TagScanner(SENTINEL)
+    elif scanner.sentinel != SENTINEL:
+        raise ConfigurationError("scanner sentinel must be %r" % SENTINEL)
+
+    positions = scanner.positions(wire)
+    template = Template(config=config)
+    buffer: List[str] = []          # accumulates literal or SET content text
+    open_set: Tuple[int, ...] = ()  # (key,) while inside a SET body
+    cursor = 0
+
+    def flush_literal() -> None:
+        if buffer:
+            template.literal("".join(buffer))
+            buffer.clear()
+
+    for position in positions:
+        if position < cursor:
+            # Sentinel inside a tag we already consumed (cannot happen with
+            # the current grammar, but guards against malformed overlap).
+            continue
+        buffer.append(wire[cursor:position])
+        kind, key, end = _read_tag(wire, position, config)
+        cursor = end
+        if kind == "Q":
+            buffer.append(SENTINEL)
+            continue
+        if open_set:
+            if kind == "E" and key == open_set[0]:
+                template.set(open_set[0], "".join(buffer))
+                buffer.clear()
+                open_set = ()
+                continue
+            raise TemplateError(
+                "unexpected %s tag inside SET body for key %d at offset %d"
+                % (kind, open_set[0], position)
+            )
+        if kind == "G":
+            flush_literal()
+            template.get(key)
+        elif kind == "S":
+            flush_literal()
+            open_set = (key,)
+        elif kind == "E":
+            raise TemplateError(
+                "END tag for key %d without a matching SET at offset %d"
+                % (key, position)
+            )
+    if open_set:
+        raise TemplateError("unterminated SET body for key %d" % open_set[0])
+    buffer.append(wire[cursor:])
+    if "".join(buffer):
+        template.literal("".join(buffer))
+    return template.normalized()
+
+
+def _read_tag(wire: str, position: int, config: TemplateConfig) -> Tuple[str, int, int]:
+    """Decode one tag at ``position``; returns (kind, key, end_offset)."""
+    after = position + len(SENTINEL)
+    if wire.startswith("Q" + TAG_CLOSE, after):
+        return "Q", -1, after + 1 + len(TAG_CLOSE)
+    kind = wire[after : after + 1]
+    if kind not in ("G", "S", "E"):
+        raise TemplateError(
+            "unknown tag kind %r at offset %d" % (wire[after : after + 1], position)
+        )
+    if wire[after + 1 : after + 2] != ":":
+        raise TemplateError("malformed tag at offset %d (missing ':')" % position)
+    key_start = after + 2
+    key_end = key_start + config.key_width
+    key_text = wire[key_start:key_end]
+    if len(key_text) != config.key_width or not key_text.isdigit():
+        raise TemplateError(
+            "malformed dpcKey %r at offset %d" % (key_text, position)
+        )
+    if wire[key_end : key_end + len(TAG_CLOSE)] != TAG_CLOSE:
+        raise TemplateError("unterminated tag at offset %d" % position)
+    return kind, int(key_text), key_end + len(TAG_CLOSE)

@@ -1,0 +1,67 @@
+"""Secondary hash indexes for the in-memory engine.
+
+Equality predicates are the dominant access path for the dynamic scripts in
+this reproduction (category pages look up ``category_id = ?``, profile
+lookups use ``user_id = ?``), so a hash index per indexed column suffices.
+Indexes also matter for the latency model: an indexed probe touches only the
+matching rows, while a scan touches the whole table, and "rows touched"
+feeds the per-row query cost in the generation delay model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ..errors import SchemaError
+
+
+class HashIndex:
+    """Maps one column's values to the set of primary keys holding them.
+
+    ``None`` values are indexed under a private sentinel so that
+    ``WHERE col = NULL``-style programmatic lookups behave consistently.
+    """
+
+    _NULL = object()
+
+    def __init__(self, table: str, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._buckets: Dict[object, List[object]] = {}
+        self.probes = 0
+
+    @staticmethod
+    def _bucket_key(value: object) -> object:
+        return HashIndex._NULL if value is None else value
+
+    def add(self, value: object, pk: object) -> None:
+        """Index ``pk`` under ``value``."""
+        self._buckets.setdefault(self._bucket_key(value), []).append(pk)
+
+    def remove(self, value: object, pk: object) -> None:
+        """Un-index ``pk`` from ``value``; raises if absent."""
+        key = self._bucket_key(value)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            raise SchemaError(
+                "index %s.%s has no entry for value %r" % (self.table, self.column, value)
+            )
+        bucket.remove(pk)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, value: object) -> List[object]:
+        """Primary keys whose row has ``column == value`` (insertion order)."""
+        self.probes += 1
+        return list(self._buckets.get(self._bucket_key(value), ()))
+
+    def distinct_values(self) -> Iterator[object]:
+        """Iterate the distinct indexed values."""
+        for key in self._buckets:
+            yield None if key is self._NULL else key
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HashIndex(%s.%s, %d entries)" % (self.table, self.column, len(self))

@@ -1,0 +1,503 @@
+"""A tiny SQL dialect: tokenizer, parser, and statement AST.
+
+The dynamic scripts in this reproduction issue the same shapes of query the
+paper's examples imply (category listings, profile lookups, quote updates),
+so the dialect is deliberately small:
+
+* ``SELECT col, ... | * FROM table [WHERE conj] [ORDER BY col [ASC|DESC]]
+  [LIMIT n]``
+* ``INSERT INTO table (col, ...) VALUES (val, ...)``
+* ``UPDATE table SET col = val, ... [WHERE conj]``
+* ``DELETE FROM table [WHERE conj]``
+
+``conj`` is one or more ``col op val`` comparisons joined by ``AND``; ``op``
+is one of ``= != <> < <= > >= LIKE``.  Values are integer/float literals,
+single-quoted strings (with ``''`` escaping), ``NULL``, ``TRUE``/``FALSE``,
+or ``?`` placeholders bound at execution time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..errors import SqlSyntaxError
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),*?])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "select", "from", "where", "and", "order", "by", "asc", "desc", "limit",
+    "insert", "into", "values", "update", "set", "delete", "like",
+    "null", "true", "false",
+    "count", "sum", "avg", "min", "max", "group",
+}
+
+#: Aggregate function names (a subset of KEYWORDS).
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'string' | 'number' | 'op' | 'punct' | 'keyword' | 'ident'
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split a statement into tokens, raising on anything unrecognized."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                "unrecognized character %r at position %d in %r"
+                % (sql[pos], pos, sql)
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "ws":
+            if kind == "word":
+                lowered = text.lower()
+                kind = "keyword" if lowered in KEYWORDS else "ident"
+                text = lowered if kind == "keyword" else text
+            tokens.append(Token(kind, text, pos))
+        pos = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class Placeholder:
+    """A ``?`` in the statement, bound positionally at execution time."""
+
+    _instance: Optional["Placeholder"] = None
+
+    def __new__(cls) -> "Placeholder":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+PLACEHOLDER = Placeholder()
+
+Value = Union[int, float, str, bool, None, Placeholder]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One ``column op value`` comparison."""
+
+    column: str
+    op: str  # '=', '!=', '<', '<=', '>', '>=', 'like'
+    value: Value
+
+    def matches(self, row_value: object, bound_value: object) -> bool:
+        """Evaluate against a row value with the placeholder already bound."""
+        if self.op == "=":
+            return row_value == bound_value
+        if self.op == "!=":
+            return row_value != bound_value
+        if self.op == "like":
+            return _like_match(str(bound_value), row_value)
+        if row_value is None or bound_value is None:
+            return False  # SQL three-valued logic: comparisons to NULL fail
+        if self.op == "<":
+            return row_value < bound_value  # type: ignore[operator]
+        if self.op == "<=":
+            return row_value <= bound_value  # type: ignore[operator]
+        if self.op == ">":
+            return row_value > bound_value  # type: ignore[operator]
+        if self.op == ">=":
+            return row_value >= bound_value  # type: ignore[operator]
+        raise SqlSyntaxError("unknown operator %r" % self.op)
+
+
+def _like_match(pattern: str, value: object) -> bool:
+    if value is None:
+        return False
+    # '%' matches any run, '_' any single character.  Escape each literal
+    # span separately (re.escape no longer escapes '%'/'_' themselves).
+    parts = []
+    for chunk in pattern.split("%"):
+        parts.append(".".join(re.escape(piece) for piece in chunk.split("_")))
+    regex = ".*".join(parts)
+    return re.fullmatch(regex, str(value)) is not None
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate select item, e.g. ``COUNT(*)`` or ``AVG(price)``.
+
+    ``column`` is ``None`` only for ``COUNT(*)``.  The result column is
+    named ``func(column)`` (lower case), e.g. ``avg(price)``.
+    """
+
+    func: str  # 'count' | 'sum' | 'avg' | 'min' | 'max'
+    column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise SqlSyntaxError("unknown aggregate %r" % self.func)
+        if self.column is None and self.func != "count":
+            raise SqlSyntaxError("%s(*) is not valid; only COUNT(*)" % self.func)
+
+    @property
+    def result_name(self) -> str:
+        """The output column name, e.g. ``avg(price)``."""
+        return "%s(%s)" % (self.func, self.column if self.column else "*")
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    table: str
+    columns: Tuple[str, ...]  # empty tuple means '*' (when no aggregates)
+    where: Tuple[Condition, ...] = ()
+    order_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+    aggregates: Tuple[Aggregate, ...] = ()
+    group_by: Optional[str] = None
+
+    @property
+    def is_star(self) -> bool:
+        """Whether this is a plain ``SELECT *``."""
+        return not self.columns and not self.aggregates
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether any aggregate select items are present."""
+        return bool(self.aggregates)
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: Tuple[str, ...]
+    values: Tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    assignments: Tuple[Tuple[str, Value], ...]
+    where: Tuple[Condition, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Tuple[Condition, ...] = ()
+
+
+Statement = Union[SelectStatement, InsertStatement, UpdateStatement, DeleteStatement]
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of statement: %r" % self.sql)
+        self.index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.text != word:
+            raise SqlSyntaxError(
+                "expected %s at position %d in %r, got %r"
+                % (word.upper(), token.position, self.sql, token.text)
+            )
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != char:
+            raise SqlSyntaxError(
+                "expected %r at position %d in %r, got %r"
+                % (char, token.position, self.sql, token.text)
+            )
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.text == word:
+            self.index += 1
+            return True
+        return False
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise SqlSyntaxError(
+                "expected identifier at position %d in %r, got %r"
+                % (token.position, self.sql, token.text)
+            )
+        return token.text
+
+    def _value(self) -> Value:
+        token = self._next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "punct" and token.text == "?":
+            return PLACEHOLDER
+        if token.kind == "keyword":
+            if token.text == "null":
+                return None
+            if token.text == "true":
+                return True
+            if token.text == "false":
+                return False
+        raise SqlSyntaxError(
+            "expected a value at position %d in %r, got %r"
+            % (token.position, self.sql, token.text)
+        )
+
+    def _done(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise SqlSyntaxError(
+                "trailing tokens starting with %r at position %d in %r"
+                % (token.text, token.position, self.sql)
+            )
+
+    # -- clauses ---------------------------------------------------------------
+
+    def _where_clause(self) -> Tuple[Condition, ...]:
+        if not self._accept_keyword("where"):
+            return ()
+        conditions = [self._condition()]
+        while self._accept_keyword("and"):
+            conditions.append(self._condition())
+        return tuple(conditions)
+
+    def _condition(self) -> Condition:
+        column = self._identifier()
+        token = self._next()
+        if token.kind == "op":
+            op = "!=" if token.text == "<>" else token.text
+        elif token.kind == "keyword" and token.text == "like":
+            op = "like"
+        else:
+            raise SqlSyntaxError(
+                "expected comparison operator at position %d in %r, got %r"
+                % (token.position, self.sql, token.text)
+            )
+        return Condition(column, op, self._value())
+
+    # -- statements --------------------------------------------------------------
+
+    def parse(self) -> Statement:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("empty statement")
+        if token.kind != "keyword":
+            raise SqlSyntaxError(
+                "statement must start with a keyword, got %r" % token.text
+            )
+        if token.text == "select":
+            return self._select()
+        if token.text == "insert":
+            return self._insert()
+        if token.text == "update":
+            return self._update()
+        if token.text == "delete":
+            return self._delete()
+        raise SqlSyntaxError("unsupported statement type %r" % token.text)
+
+    def _select(self) -> SelectStatement:
+        self._expect_keyword("select")
+        columns: List[str] = []
+        aggregates: List[Aggregate] = []
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == "*":
+            self._next()
+        else:
+            self._select_item(columns, aggregates)
+            while self._accept_punct_comma():
+                self._select_item(columns, aggregates)
+        self._expect_keyword("from")
+        table = self._identifier()
+        where = self._where_clause()
+        group_by = None
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._identifier()
+        order_by = None
+        descending = False
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = self._identifier()
+            if self._accept_keyword("desc"):
+                descending = True
+            else:
+                self._accept_keyword("asc")
+        limit = None
+        if self._accept_keyword("limit"):
+            value = self._value()
+            if not isinstance(value, int) or value < 0:
+                raise SqlSyntaxError("LIMIT requires a non-negative integer")
+            limit = value
+        self._done()
+        self._check_select_shape(columns, aggregates, group_by)
+        return SelectStatement(
+            table=table,
+            columns=tuple(columns),
+            where=where,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            aggregates=tuple(aggregates),
+            group_by=group_by,
+        )
+
+    def _select_item(self, columns: List[str], aggregates: List[Aggregate]) -> None:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "keyword"
+            and token.text in AGGREGATE_FUNCTIONS
+        ):
+            func = self._next().text
+            self._expect_punct("(")
+            inner = self._peek()
+            if inner is not None and inner.kind == "punct" and inner.text == "*":
+                self._next()
+                column = None
+            else:
+                column = self._identifier()
+            self._expect_punct(")")
+            aggregates.append(Aggregate(func, column))
+        else:
+            columns.append(self._identifier())
+
+    def _check_select_shape(self, columns, aggregates, group_by) -> None:
+        """Aggregate queries may project only the GROUP BY column."""
+        if aggregates:
+            extra = [c for c in columns if c != group_by]
+            if extra:
+                raise SqlSyntaxError(
+                    "non-aggregated columns %s require a matching GROUP BY"
+                    % extra
+                )
+        elif group_by is not None:
+            raise SqlSyntaxError("GROUP BY without aggregates is not supported")
+
+    def _insert(self) -> InsertStatement:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._identifier()
+        self._expect_punct("(")
+        columns = [self._identifier()]
+        while self._accept_punct_comma():
+            columns.append(self._identifier())
+        self._expect_punct(")")
+        self._expect_keyword("values")
+        self._expect_punct("(")
+        values = [self._value()]
+        while self._accept_punct_comma():
+            values.append(self._value())
+        self._expect_punct(")")
+        self._done()
+        if len(columns) != len(values):
+            raise SqlSyntaxError(
+                "INSERT has %d columns but %d values" % (len(columns), len(values))
+            )
+        return InsertStatement(table=table, columns=tuple(columns), values=tuple(values))
+
+    def _update(self) -> UpdateStatement:
+        self._expect_keyword("update")
+        table = self._identifier()
+        self._expect_keyword("set")
+        assignments = [self._assignment()]
+        while self._accept_punct_comma():
+            assignments.append(self._assignment())
+        where = self._where_clause()
+        self._done()
+        return UpdateStatement(table=table, assignments=tuple(assignments), where=where)
+
+    def _assignment(self) -> Tuple[str, Value]:
+        column = self._identifier()
+        token = self._next()
+        if token.kind != "op" or token.text != "=":
+            raise SqlSyntaxError(
+                "expected '=' in SET clause at position %d in %r"
+                % (token.position, self.sql)
+            )
+        return column, self._value()
+
+    def _delete(self) -> DeleteStatement:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._identifier()
+        where = self._where_clause()
+        self._done()
+        return DeleteStatement(table=table, where=where)
+
+    def _accept_punct_comma(self) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == ",":
+            self.index += 1
+            return True
+        return False
+
+
+def parse(sql: str) -> Statement:
+    """Parse one statement of the tiny dialect into its AST."""
+    return _Parser(sql).parse()
+
+
+def count_placeholders(statement: Statement) -> int:
+    """How many ``?`` placeholders a parsed statement contains."""
+    count = 0
+    if isinstance(statement, SelectStatement):
+        conditions: Tuple[Condition, ...] = statement.where
+    elif isinstance(statement, DeleteStatement):
+        conditions = statement.where
+    elif isinstance(statement, UpdateStatement):
+        conditions = statement.where
+        count += sum(1 for _, value in statement.assignments if value is PLACEHOLDER)
+    elif isinstance(statement, InsertStatement):
+        return sum(1 for value in statement.values if value is PLACEHOLDER)
+    else:  # pragma: no cover - exhaustive over Statement
+        raise SqlSyntaxError("unknown statement type %r" % (statement,))
+    count += sum(1 for cond in conditions if cond.value is PLACEHOLDER)
+    return count

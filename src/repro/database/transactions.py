@@ -1,0 +1,114 @@
+"""Transactions: atomic multi-row updates with commit-time triggers.
+
+Fragment invalidation must key off *committed* states: if a script updates
+three rows that together produce one consistent catalog view, the BEM must
+not invalidate (and a concurrent request must not regenerate) against a
+half-applied state, and a rolled-back update must invalidate nothing.
+
+The engine therefore supports flat transactions:
+
+* ``with db.transaction(): ...`` — mutations apply to tables immediately
+  (this is a single-threaded simulation; there is no concurrent reader to
+  isolate), but their :class:`ChangeEvent` s are **buffered** and published
+  only at commit, in order.
+* On rollback, the undo log restores every pre-image and the buffered
+  events are discarded — no listener ever learns the transaction happened.
+
+Nested ``transaction()`` calls are rejected: the reproduction needs
+atomicity of trigger delivery, not savepoints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import DatabaseError
+from .triggers import DELETE, INSERT, UPDATE, ChangeEvent, TriggerBus
+
+
+class TransactionLog:
+    """Event buffer + undo log for one open transaction."""
+
+    def __init__(self) -> None:
+        self.events: List[ChangeEvent] = []
+
+    def record(self, event: ChangeEvent) -> None:
+        """Buffer one change event."""
+        self.events.append(event)
+
+    def undo_order(self) -> List[ChangeEvent]:
+        """Events in reverse order, for rollback."""
+        return list(reversed(self.events))
+
+
+class TransactionManager:
+    """Owns the open-transaction state for one database.
+
+    Installed between the tables and the trigger bus: tables publish into
+    :meth:`publish`, which either forwards immediately (autocommit) or
+    buffers (inside a transaction).
+    """
+
+    def __init__(self, bus: TriggerBus) -> None:
+        self.bus = bus
+        self._log: Optional[TransactionLog] = None
+        self.commits = 0
+        self.rollbacks = 0
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a transaction is open."""
+        return self._log is not None
+
+    # -- the publish seam -------------------------------------------------------
+
+    def publish(self, event: ChangeEvent) -> None:
+        """Forward an event now, or buffer it inside a transaction."""
+        if self._log is not None:
+            self._log.record(event)
+        else:
+            self.bus.publish(event)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a transaction; rejects nesting."""
+        if self._log is not None:
+            raise DatabaseError("nested transactions are not supported")
+        self._log = TransactionLog()
+
+    def commit(self) -> int:
+        """Publish every buffered event, in order; returns the count."""
+        if self._log is None:
+            raise DatabaseError("no transaction in progress")
+        log, self._log = self._log, None
+        for event in log.events:
+            self.bus.publish(event)
+        self.commits += 1
+        return len(log.events)
+
+    def rollback(self, undo) -> int:
+        """Restore pre-images via ``undo(event)``; returns mutations undone.
+
+        ``undo`` is supplied by the database (it knows how to reach table
+        internals without re-triggering events).
+        """
+        if self._log is None:
+            raise DatabaseError("no transaction in progress")
+        log, self._log = self._log, None
+        for event in log.undo_order():
+            undo(event)
+        self.rollbacks += 1
+        return len(log.events)
+
+
+def undo_event_on(table, event: ChangeEvent) -> None:
+    """Reverse one mutation on ``table`` without publishing anything."""
+    if event.operation == INSERT:
+        table.silent_delete(event.key)
+    elif event.operation == UPDATE:
+        table.silent_restore(event.key, event.old_row)
+    elif event.operation == DELETE:
+        table.silent_restore(event.key, event.old_row)
+    else:  # pragma: no cover - exhaustive over operations
+        raise DatabaseError("cannot undo operation %r" % event.operation)

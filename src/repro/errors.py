@@ -1,0 +1,132 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems define narrower classes here
+(rather than in their own modules) so that the hierarchy is visible in one
+place and no import cycles arise between subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+# --------------------------------------------------------------------------
+# Core (DPC / BEM) errors
+# --------------------------------------------------------------------------
+
+
+class CacheError(ReproError):
+    """Base class for cache-related failures."""
+
+
+class DirectoryFullError(CacheError):
+    """The BEM cache directory is full and replacement could not free space."""
+
+
+class SlotError(CacheError):
+    """A DPC slot operation referenced an out-of-range or unassigned dpcKey."""
+
+
+class AssemblyError(CacheError):
+    """The DPC could not assemble a page from a template.
+
+    Raised when a GET instruction references a slot that holds no content.
+    Under the BEM protocol this indicates a protocol violation (the BEM only
+    emits GET for fragments its directory believes are resident), so it is an
+    error rather than a silent miss.
+    """
+
+
+class TemplateError(ReproError):
+    """A serialized page template could not be parsed."""
+
+
+class TaggingError(ReproError):
+    """The tagging API was misused (e.g. nested tagged blocks)."""
+
+
+# --------------------------------------------------------------------------
+# Application-server errors
+# --------------------------------------------------------------------------
+
+
+class AppServerError(ReproError):
+    """Base class for application-server failures."""
+
+
+class ScriptNotFound(AppServerError):
+    """No dynamic script is registered for the requested path."""
+
+
+class ScriptError(AppServerError):
+    """A dynamic script raised during execution."""
+
+
+class SessionError(AppServerError):
+    """Session lookup or creation failed."""
+
+
+# --------------------------------------------------------------------------
+# Database errors
+# --------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for database failures."""
+
+
+class SchemaError(DatabaseError):
+    """A table/column definition or reference was invalid."""
+
+
+class QueryError(DatabaseError):
+    """A query was malformed or referenced unknown tables/columns."""
+
+
+class SqlSyntaxError(QueryError):
+    """The tiny SQL dialect parser rejected a statement."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (primary key uniqueness, NOT NULL) was violated."""
+
+
+# --------------------------------------------------------------------------
+# CMS errors
+# --------------------------------------------------------------------------
+
+
+class CmsError(ReproError):
+    """Base class for content-management-system failures."""
+
+
+class UnknownUserError(CmsError):
+    """A profile lookup referenced a user that is not registered."""
+
+
+class ContentNotFound(CmsError):
+    """A content item was requested that the repository does not hold."""
+
+
+# --------------------------------------------------------------------------
+# Network errors
+# --------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class ChannelClosed(NetworkError):
+    """A message was sent over a channel that has been closed."""
+
+
+class RoutingError(NetworkError):
+    """The forward-proxy router could not place a request on any proxy."""

@@ -1,0 +1,72 @@
+"""Experiment harness: the Figure 4 testbed and per-figure experiments."""
+
+from .experiments import (
+    CacheabilityRow,
+    CaseStudyResult,
+    RatioRow,
+    SavingsRow,
+    case_study,
+    figure_2a_rows,
+    figure_2b_rows,
+    figure_3a_rows,
+    figure_3b_rows,
+    figure_5_rows,
+    figure_6_rows,
+    run_pair,
+)
+from .edge import (
+    DEPLOYMENTS,
+    EdgeExperimentConfig,
+    EdgeExperimentResult,
+    compare_deployments,
+    run_edge_experiment,
+)
+from .monitoring import DeploymentSnapshot, take_snapshot
+from .realistic import (
+    RealisticConfig,
+    RealisticResult,
+    run_realistic,
+    run_realistic_pair,
+)
+from .reporting import format_table, kb, mb, percent, print_table, ratio
+from .warming import CacheWarmer, WarmupReport
+from .testbed import MODES, Testbed, TestbedConfig, TestbedResult, run_testbed
+
+__all__ = [
+    "Testbed",
+    "TestbedConfig",
+    "TestbedResult",
+    "run_testbed",
+    "MODES",
+    "run_pair",
+    "RatioRow",
+    "SavingsRow",
+    "CacheabilityRow",
+    "CaseStudyResult",
+    "figure_2a_rows",
+    "figure_2b_rows",
+    "figure_3a_rows",
+    "figure_3b_rows",
+    "figure_5_rows",
+    "figure_6_rows",
+    "case_study",
+    "format_table",
+    "EdgeExperimentConfig",
+    "EdgeExperimentResult",
+    "DEPLOYMENTS",
+    "run_edge_experiment",
+    "compare_deployments",
+    "RealisticConfig",
+    "RealisticResult",
+    "run_realistic",
+    "run_realistic_pair",
+    "DeploymentSnapshot",
+    "take_snapshot",
+    "CacheWarmer",
+    "WarmupReport",
+    "print_table",
+    "percent",
+    "ratio",
+    "kb",
+    "mb",
+]

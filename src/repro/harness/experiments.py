@@ -1,0 +1,321 @@
+"""One function per paper artifact: the experiment layer behind the benches.
+
+Each ``figure_*`` function returns structured rows combining the analytical
+series (Section 5 model) with measured series from the simulated testbed
+(Section 6), mirroring the paired curves in the paper's figures.  The
+benches print them and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis import (
+    AnalysisParams,
+    TABLE2,
+    bytes_ratio,
+    firewall_savings_percent,
+    network_savings_percent,
+    savings_percent,
+)
+from ..network import ProtocolOverheadModel
+from ..sites.synthetic import SyntheticParams
+from .testbed import TestbedConfig, TestbedResult, run_testbed
+
+#: Default request counts: small enough to keep the suite quick, large
+#: enough that measured ratios are stable to a couple of percent.
+DEFAULT_REQUESTS = 1500
+DEFAULT_WARMUP = 300
+
+
+def _analysis_for(synthetic: SyntheticParams, hit_ratio: float) -> AnalysisParams:
+    """The closed-form configuration matching a synthetic-site setup."""
+    return TABLE2.with_(
+        hit_ratio=hit_ratio,
+        fragment_size=float(synthetic.fragment_size),
+        fragments_per_page=synthetic.fragments_per_page,
+        num_pages=synthetic.num_pages,
+        cacheability=synthetic.cacheability,
+    )
+
+
+def run_pair(
+    synthetic: SyntheticParams,
+    target_hit_ratio: float,
+    requests: int = DEFAULT_REQUESTS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 42,
+    overhead: Optional[ProtocolOverheadModel] = None,
+) -> Tuple[TestbedResult, TestbedResult]:
+    """Run no-cache and DPC testbeds over the identical workload."""
+    if overhead is None:
+        overhead = ProtocolOverheadModel()
+    common = dict(
+        synthetic=synthetic,
+        target_hit_ratio=target_hit_ratio,
+        requests=requests,
+        warmup_requests=warmup,
+        seed=seed,
+        overhead=overhead,
+    )
+    no_cache = run_testbed(TestbedConfig(mode="no_cache", **common))
+    dpc = run_testbed(TestbedConfig(mode="dpc", **common))
+    return no_cache, dpc
+
+
+# ---------------------------------------------------------------------------
+# Figure rows
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    """One x-point of a B_C/B_NC comparison (Figures 2(a)/3(b))."""
+
+    fragment_size: int
+    analytical_ratio: float
+    experimental_payload_ratio: Optional[float] = None
+    experimental_wire_ratio: Optional[float] = None
+    measured_hit_ratio: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SavingsRow:
+    """One x-point of a savings-% comparison (Figures 2(b)/5)."""
+
+    hit_ratio: float
+    analytical_savings_pct: float
+    experimental_savings_pct: Optional[float] = None
+    experimental_wire_savings_pct: Optional[float] = None
+    measured_hit_ratio: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CacheabilityRow:
+    """One x-point of the cacheability sweeps (Figures 3(a)/6)."""
+
+    cacheability: float
+    analytical_network_savings_pct: float
+    analytical_firewall_savings_pct: float
+    experimental_network_savings_pct: Optional[float] = None
+    experimental_firewall_savings_pct: Optional[float] = None
+
+
+def figure_2a_rows(
+    sizes: Sequence[int] = (100, 250, 500, 1024, 2048, 3072, 4096, 5120),
+    base: Optional[SyntheticParams] = None,
+    hit_ratio: float = 0.8,
+) -> List[RatioRow]:
+    """Analytical-only B_C/B_NC vs fragment size."""
+    if base is None:
+        base = SyntheticParams()
+    rows = []
+    for size in sizes:
+        params = _analysis_for(replace(base, fragment_size=size), hit_ratio)
+        rows.append(RatioRow(fragment_size=size, analytical_ratio=bytes_ratio(params)))
+    return rows
+
+
+def figure_2b_rows(
+    hit_ratios: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0),
+    base: Optional[SyntheticParams] = None,
+) -> List[SavingsRow]:
+    """Analytical-only savings-% vs hit ratio."""
+    if base is None:
+        base = SyntheticParams()
+    return [
+        SavingsRow(
+            hit_ratio=h,
+            analytical_savings_pct=savings_percent(_analysis_for(base, h)),
+        )
+        for h in hit_ratios
+    ]
+
+
+def figure_3a_rows(
+    cacheabilities: Sequence[float] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    base: Optional[SyntheticParams] = None,
+    hit_ratio: float = 0.8,
+) -> List[CacheabilityRow]:
+    """Analytical network + firewall savings vs cacheability."""
+    if base is None:
+        base = SyntheticParams()
+    rows = []
+    for cacheability in cacheabilities:
+        params = _analysis_for(replace(base, cacheability=cacheability), hit_ratio)
+        rows.append(
+            CacheabilityRow(
+                cacheability=cacheability,
+                analytical_network_savings_pct=network_savings_percent(params),
+                analytical_firewall_savings_pct=firewall_savings_percent(params),
+            )
+        )
+    return rows
+
+
+def figure_3b_rows(
+    sizes: Sequence[int] = (100, 250, 500, 1024, 2048, 4096),
+    hit_ratio: float = 0.8,
+    requests: int = DEFAULT_REQUESTS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 42,
+) -> List[RatioRow]:
+    """Analytical + experimental B_C/B_NC vs fragment size."""
+    rows = []
+    for size in sizes:
+        synthetic = SyntheticParams(fragment_size=size)
+        analytical = bytes_ratio(_analysis_for(synthetic, hit_ratio))
+        no_cache, dpc = run_pair(
+            synthetic, hit_ratio, requests=requests, warmup=warmup, seed=seed
+        )
+        rows.append(
+            RatioRow(
+                fragment_size=size,
+                analytical_ratio=analytical,
+                experimental_payload_ratio=_safe_div(
+                    dpc.response_payload_bytes, no_cache.response_payload_bytes
+                ),
+                experimental_wire_ratio=_safe_div(
+                    dpc.response_wire_bytes, no_cache.response_wire_bytes
+                ),
+                measured_hit_ratio=dpc.measured_hit_ratio,
+            )
+        )
+    return rows
+
+
+def figure_5_rows(
+    hit_ratios: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    fragment_size: int = 1024,
+    requests: int = DEFAULT_REQUESTS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 42,
+) -> List[SavingsRow]:
+    """Analytical + experimental savings-% vs hit ratio."""
+    rows = []
+    synthetic = SyntheticParams(fragment_size=fragment_size)
+    for h in hit_ratios:
+        analytical = savings_percent(_analysis_for(synthetic, h))
+        no_cache, dpc = run_pair(
+            synthetic, h, requests=requests, warmup=warmup, seed=seed
+        )
+        rows.append(
+            SavingsRow(
+                hit_ratio=h,
+                analytical_savings_pct=analytical,
+                experimental_savings_pct=_savings_pct(
+                    no_cache.response_payload_bytes, dpc.response_payload_bytes
+                ),
+                experimental_wire_savings_pct=_savings_pct(
+                    no_cache.response_wire_bytes, dpc.response_wire_bytes
+                ),
+                measured_hit_ratio=dpc.measured_hit_ratio,
+            )
+        )
+    return rows
+
+
+def figure_6_rows(
+    cacheabilities: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    hit_ratio: float = 0.8,
+    requests: int = DEFAULT_REQUESTS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 42,
+) -> List[CacheabilityRow]:
+    """Analytical + experimental network savings vs cacheability.
+
+    The firewall-savings column is computed from *measured* byte counts and
+    scan work, not re-derived from the model — this is the measured Result 1.
+    """
+    rows = []
+    for cacheability in cacheabilities:
+        synthetic = SyntheticParams(cacheability=cacheability)
+        params = _analysis_for(synthetic, hit_ratio)
+        no_cache, dpc = run_pair(
+            synthetic, hit_ratio, requests=requests, warmup=warmup, seed=seed
+        )
+        scan_nc = no_cache.firewall_bytes
+        scan_c = dpc.firewall_bytes + dpc.dpc_scanned_bytes
+        rows.append(
+            CacheabilityRow(
+                cacheability=cacheability,
+                analytical_network_savings_pct=network_savings_percent(params),
+                analytical_firewall_savings_pct=firewall_savings_percent(params),
+                experimental_network_savings_pct=_savings_pct(
+                    no_cache.response_payload_bytes, dpc.response_payload_bytes
+                ),
+                experimental_firewall_savings_pct=_savings_pct(scan_nc, scan_c),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Case study (§6/§8 deployment claims)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    """Bandwidth and response-time comparison for one origin mode pair."""
+
+    origin_bytes_no_cache: int
+    origin_bytes_dpc: int
+    mean_rt_no_cache: float
+    mean_rt_dpc: float
+    p95_rt_no_cache: float
+    p95_rt_dpc: float
+    measured_hit_ratio: float
+
+    @property
+    def bandwidth_reduction_factor(self) -> float:
+        """Origin bytes without cache over origin bytes with the DPC."""
+        return _safe_div(self.origin_bytes_no_cache, max(self.origin_bytes_dpc, 1))
+
+    @property
+    def response_time_reduction_factor(self) -> float:
+        """Mean response time without cache over the DPC's."""
+        return _safe_div(self.mean_rt_no_cache, max(self.mean_rt_dpc, 1e-12))
+
+
+def case_study(
+    requests: int = 1200,
+    warmup: int = 300,
+    fragment_size: int = 4096,
+    seed: int = 7,
+) -> CaseStudyResult:
+    """The deployment scenario: big fragments, high locality, heavy logic.
+
+    Large personalized portal fragments with high hit ratios are the regime
+    the financial-institution deployment lives in; this is where the
+    order-of-magnitude claims come from.
+    """
+    synthetic = SyntheticParams(fragment_size=fragment_size, cacheability=1.0)
+    no_cache, dpc = run_pair(
+        synthetic, target_hit_ratio=0.98, requests=requests, warmup=warmup, seed=seed
+    )
+    return CaseStudyResult(
+        origin_bytes_no_cache=no_cache.response_payload_bytes,
+        origin_bytes_dpc=dpc.response_payload_bytes,
+        mean_rt_no_cache=no_cache.mean_response_time,
+        mean_rt_dpc=dpc.mean_response_time,
+        p95_rt_no_cache=no_cache.percentile_response_time(0.95),
+        p95_rt_dpc=dpc.percentile_response_time(0.95),
+        measured_hit_ratio=dpc.measured_hit_ratio,
+    )
+
+
+# ---------------------------------------------------------------------------
+
+
+def _safe_div(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def _savings_pct(no_cache: float, cached: float) -> float:
+    if no_cache == 0:
+        return 0.0
+    return (1.0 - cached / no_cache) * 100.0

@@ -1,0 +1,105 @@
+"""Operational monitoring: one snapshot across a whole deployment.
+
+Production caches live or die by their observability.  This module
+gathers the counters every component already keeps — BEM directory stats,
+DPC slot/byte stats, firewall scan work, Sniffer traffic — into a single
+structured snapshot with derived health indicators (hit ratio, byte
+savings, slot utilization), renderable as the same ASCII tables the bench
+harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.bem import BackEndMonitor
+from ..core.dpc import DynamicProxyCache
+from ..network.firewall import Firewall
+from ..network.sniffer import Sniffer
+from .reporting import format_table
+
+
+@dataclass
+class DeploymentSnapshot:
+    """Point-in-time health view of one BEM/DPC deployment."""
+
+    rows: List[Tuple[str, object]] = field(default_factory=list)
+
+    def add(self, name: str, value: object) -> None:
+        """Append one metric row."""
+        self.rows.append((name, value))
+
+    def get(self, name: str) -> object:
+        """Look up a metric by name; raises KeyError if absent."""
+        for row_name, value in self.rows:
+            if row_name == name:
+                return value
+        raise KeyError(name)
+
+    def names(self) -> List[str]:
+        """All metric names, in collection order."""
+        return [name for name, _ in self.rows]
+
+    def render(self) -> str:
+        """ASCII table of every collected metric."""
+        return format_table(["metric", "value"], self.rows)
+
+
+def take_snapshot(
+    bem: Optional[BackEndMonitor] = None,
+    dpc: Optional[DynamicProxyCache] = None,
+    firewall: Optional[Firewall] = None,
+    sniffer: Optional[Sniffer] = None,
+) -> DeploymentSnapshot:
+    """Collect the current counters of whichever components are given."""
+    snapshot = DeploymentSnapshot()
+    if bem is not None:
+        stats = bem.stats
+        snapshot.add("bem.blocks_processed", stats.blocks_processed)
+        snapshot.add("bem.fragment_hits", stats.fragment_hits)
+        snapshot.add("bem.fragment_misses", stats.fragment_misses)
+        snapshot.add("bem.hit_ratio", round(stats.fragment_hit_ratio, 4))
+        snapshot.add("bem.bytes_generated", stats.bytes_generated)
+        snapshot.add("bem.bytes_served_from_dpc", stats.bytes_served_from_dpc)
+        directory = bem.directory.stats
+        snapshot.add("directory.valid_entries", bem.directory.valid_count())
+        snapshot.add("directory.capacity", bem.directory.capacity)
+        snapshot.add(
+            "directory.utilization",
+            round(bem.directory.valid_count() / bem.directory.capacity, 4),
+        )
+        snapshot.add("directory.evictions", directory.evictions)
+        snapshot.add("directory.invalidations", directory.invalidations)
+        snapshot.add("directory.ttl_expirations", directory.ttl_expirations)
+        snapshot.add(
+            "invalidation.fragments_invalidated",
+            bem.invalidation.fragments_invalidated,
+        )
+        snapshot.add("objects.memoized", len(bem.objects))
+    if dpc is not None:
+        stats = dpc.stats
+        snapshot.add("dpc.responses_processed", stats.responses_processed)
+        snapshot.add("dpc.template_bytes_in", stats.template_bytes_in)
+        snapshot.add("dpc.page_bytes_out", stats.page_bytes_out)
+        snapshot.add("dpc.bytes_saved", stats.bytes_saved)
+        if stats.page_bytes_out:
+            snapshot.add(
+                "dpc.byte_savings_ratio",
+                round(stats.bytes_saved / stats.page_bytes_out, 4),
+            )
+        snapshot.add("dpc.fragments_set", stats.fragments_set)
+        snapshot.add("dpc.fragments_get", stats.fragments_get)
+        snapshot.add("dpc.slots_occupied", dpc.occupied_slots())
+        snapshot.add("dpc.capacity", dpc.capacity)
+        snapshot.add("dpc.bytes_scanned", dpc.bytes_scanned)
+    if firewall is not None:
+        snapshot.add("firewall.bytes_scanned", firewall.bytes_scanned)
+        snapshot.add("firewall.messages_scanned", firewall.messages_scanned)
+    if sniffer is not None:
+        snapshot.add("link.request_payload_bytes",
+                     sniffer.counters("request").payload_bytes)
+        snapshot.add("link.response_payload_bytes",
+                     sniffer.counters("response").payload_bytes)
+        snapshot.add("link.total_wire_bytes", sniffer.total_wire_bytes)
+    return snapshot

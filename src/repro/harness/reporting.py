@@ -1,0 +1,63 @@
+"""Plain-text tables and series for the benchmark harness output.
+
+Every bench prints the same rows/series the paper's figure or table
+reports, via these helpers, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction log captured in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Print a titled table to stdout."""
+    print()
+    print("=== %s ===" % title)
+    print(format_table(headers, rows))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return "%.4f" % value
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a percentage with one decimal, e.g. ``70.2%``."""
+    return "%.1f%%" % value
+
+
+def ratio(value: float) -> str:
+    """Format a dimensionless ratio with three decimals."""
+    return "%.3f" % value
+
+
+def kb(value: float) -> str:
+    """Format a byte count in binary kilobytes."""
+    return "%.1f KB" % (value / 1024.0)
+
+
+def mb(value: float) -> str:
+    """Format a byte count in binary megabytes."""
+    return "%.2f MB" % (value / (1024.0 * 1024.0))

@@ -1,0 +1,144 @@
+"""Simulated point-to-point links with byte accounting and latency.
+
+A :class:`Channel` models the link between two machines in the Figure 4
+topology (e.g. Origin Site <-> External).  Sending a message:
+
+1. packetizes it under the channel's :class:`ProtocolOverheadModel`,
+2. lets every attached :class:`~repro.network.sniffer.Sniffer` observe it,
+3. returns the transfer time implied by the channel's bandwidth/latency,
+   which the caller may add to a :class:`SimulatedClock`.
+
+Channels are synchronous and lossless — the paper's testbed is a quiet LAN;
+queueing and loss are not what its experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ChannelClosed, ConfigurationError
+from .clock import SimulatedClock
+from .message import ProtocolOverheadModel, WireMessage
+from .sniffer import Sniffer
+
+
+@dataclass
+class LinkParameters:
+    """Physical characteristics of a link.
+
+    ``bandwidth_bytes_per_s`` of 0 means "infinitely fast" (transfer time is
+    just the propagation latency); useful for tests that only count bytes.
+    """
+
+    latency_s: float = 0.0005  # one-way propagation delay (LAN-ish)
+    bandwidth_bytes_per_s: float = 12_500_000.0  # 100 Mbit/s
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError("latency cannot be negative")
+        if self.bandwidth_bytes_per_s < 0:
+            raise ConfigurationError("bandwidth cannot be negative")
+
+    def transfer_time(self, wire_bytes: int) -> float:
+        """Seconds to move ``wire_bytes`` across this link."""
+        serialization = 0.0
+        if self.bandwidth_bytes_per_s > 0:
+            serialization = wire_bytes / self.bandwidth_bytes_per_s
+        return self.latency_s + serialization
+
+
+class Channel:
+    """A monitored, bidirectional link between two named endpoints."""
+
+    def __init__(
+        self,
+        name: str,
+        endpoint_a: str,
+        endpoint_b: str,
+        link: Optional[LinkParameters] = None,
+        overhead: Optional[ProtocolOverheadModel] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.name = name
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+        self.link = link if link is not None else LinkParameters()
+        self.overhead = overhead if overhead is not None else ProtocolOverheadModel()
+        self.clock = clock
+        self._sniffers: List[Sniffer] = []
+        self._closed = False
+        self.messages_sent = 0
+
+    # -- monitoring ---------------------------------------------------------
+
+    def attach_sniffer(self, sniffer: Optional[Sniffer] = None) -> Sniffer:
+        """Attach a sniffer (creating one if needed) and return it.
+
+        The sniffer adopts this channel's overhead model so that its wire
+        byte counts match what the channel charges.
+        """
+        if sniffer is None:
+            sniffer = Sniffer(overhead=self.overhead)
+        else:
+            sniffer.overhead = self.overhead
+        self._sniffers.append(sniffer)
+        return sniffer
+
+    def detach_sniffer(self, sniffer: Sniffer) -> None:
+        """Stop a sniffer from observing this channel."""
+        self._sniffers.remove(sniffer)
+
+    # -- transmission -------------------------------------------------------
+
+    def send(self, message: WireMessage) -> float:
+        """Transmit a message and return the transfer time in seconds.
+
+        The channel advances its clock (if it has one) by the transfer time,
+        so latency accumulates naturally as a request/response exchange
+        bounces over the topology.
+        """
+        if self._closed:
+            raise ChannelClosed("channel %r is closed" % self.name)
+        self._validate_endpoints(message)
+        for sniffer in self._sniffers:
+            sniffer.observe(message)
+        self.messages_sent += 1
+        wire = self.overhead.wire_bytes_for(message.payload_bytes)
+        elapsed = self.link.transfer_time(wire)
+        if self.clock is not None:
+            self.clock.advance(elapsed)
+        return elapsed
+
+    def _validate_endpoints(self, message: WireMessage) -> None:
+        """Messages with named endpoints must match the channel's ends."""
+        ends = {self.endpoint_a, self.endpoint_b}
+        if message.source and message.destination:
+            if message.source not in ends or message.destination not in ends:
+                raise ConfigurationError(
+                    "message %s->%s does not belong on channel %r (%s<->%s)"
+                    % (
+                        message.source,
+                        message.destination,
+                        self.name,
+                        self.endpoint_a,
+                        self.endpoint_b,
+                    )
+                )
+
+    def close(self) -> None:
+        """Close the channel; further sends raise ChannelClosed."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether the channel has been closed."""
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Channel(%r, %s<->%s, sent=%d)" % (
+            self.name,
+            self.endpoint_a,
+            self.endpoint_b,
+            self.messages_sent,
+        )

@@ -1,0 +1,148 @@
+"""HTTP-like messages and their on-the-wire packetization.
+
+The paper measures bandwidth with a Sniffer on the link between the Origin
+Site machine and the External machine (Figure 4).  The Sniffer sees *wire*
+bytes: the HTTP payload plus TCP/IP protocol headers for every packet.  The
+difference between the analytical model (payload only) and the experimental
+curves (wire bytes) in Figures 3(b), 5 and 6 is exactly this protocol
+overhead, so the message model here is byte-exact about it.
+
+A :class:`WireMessage` carries an application payload of a known size.  When
+it is transmitted over a :class:`~repro.network.channel.Channel` it is split
+into packets of at most ``mss`` payload bytes, each charged ``header_bytes``
+of TCP/IP header (20 B TCP + 20 B IP by default).  Empty messages (e.g. pure
+ACKs are not modeled) still cost one packet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+#: Default maximum segment size, matching Ethernet's 1500-byte MTU minus
+#: 40 bytes of TCP/IP headers.
+DEFAULT_MSS = 1460
+
+#: Default per-packet TCP/IP header cost (20 B TCP + 20 B IP, no options).
+DEFAULT_HEADER_BYTES = 40
+
+#: Default per-message (per-HTTP-exchange) connection overhead: 2002-era
+#: servers commonly used non-persistent connections, so every response
+#: drags along SYN/SYN-ACK/FIN segments and ACK traffic — roughly three
+#: bare 40-byte TCP/IP headers.  This constant term is what makes protocol
+#: overhead *relatively* larger for small responses, the effect behind the
+#: analytical/experimental gaps in the paper's Figures 3(b), 5 and 6.
+DEFAULT_PER_MESSAGE_BYTES = 120
+
+
+@dataclass(frozen=True)
+class ProtocolOverheadModel:
+    """Parameters describing per-packet and per-message protocol overhead.
+
+    ``enabled=False`` turns the model into a pure payload counter, which is
+    what the paper's *analytical* expressions assume.  The experimental
+    testbed runs with ``enabled=True``.
+    """
+
+    mss: int = DEFAULT_MSS
+    header_bytes: int = DEFAULT_HEADER_BYTES
+    per_message_bytes: int = DEFAULT_PER_MESSAGE_BYTES
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ConfigurationError("mss must be positive")
+        if self.header_bytes < 0:
+            raise ConfigurationError("header_bytes cannot be negative")
+        if self.per_message_bytes < 0:
+            raise ConfigurationError("per_message_bytes cannot be negative")
+
+    def packets_for(self, payload_bytes: int) -> int:
+        """Number of packets needed to carry ``payload_bytes``.
+
+        A zero-byte payload still needs one packet: even an empty HTTP
+        response occupies at least one TCP segment on the wire.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError("payload_bytes cannot be negative")
+        if not self.enabled:
+            return 0
+        if payload_bytes == 0:
+            return 1
+        return math.ceil(payload_bytes / self.mss)
+
+    def wire_bytes_for(self, payload_bytes: int) -> int:
+        """Total wire bytes for one message: payload + per-packet headers
+        + the per-message connection overhead."""
+        if not self.enabled:
+            return payload_bytes
+        return (
+            payload_bytes
+            + self.packets_for(payload_bytes) * self.header_bytes
+            + self.per_message_bytes
+        )
+
+
+@dataclass
+class WireMessage:
+    """An application-level message with a measurable payload size.
+
+    ``kind`` distinguishes requests from responses (the Sniffer reports them
+    separately); ``meta`` carries free-form annotations used by experiments
+    (e.g. which page the response belongs to, whether it was a template or a
+    full page).
+    """
+
+    kind: str  # "request" or "response"
+    payload_bytes: int
+    source: str = ""
+    destination: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("request", "response"):
+            raise ConfigurationError(
+                "message kind must be 'request' or 'response', got %r" % self.kind
+            )
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload_bytes cannot be negative")
+
+    def wire_bytes(self, overhead: Optional[ProtocolOverheadModel] = None) -> int:
+        """Bytes this message occupies on a link under an overhead model."""
+        model = overhead if overhead is not None else ProtocolOverheadModel()
+        return model.wire_bytes_for(self.payload_bytes)
+
+
+def request_message(
+    payload_bytes: int,
+    source: str = "client",
+    destination: str = "origin",
+    **meta: object,
+) -> WireMessage:
+    """Convenience constructor for a request message."""
+    return WireMessage(
+        kind="request",
+        payload_bytes=payload_bytes,
+        source=source,
+        destination=destination,
+        meta=dict(meta),
+    )
+
+
+def response_message(
+    payload_bytes: int,
+    source: str = "origin",
+    destination: str = "client",
+    **meta: object,
+) -> WireMessage:
+    """Convenience constructor for a response message."""
+    return WireMessage(
+        kind="response",
+        payload_bytes=payload_bytes,
+        source=source,
+        destination=destination,
+        meta=dict(meta),
+    )

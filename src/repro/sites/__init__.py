@@ -1,0 +1,13 @@
+"""Reference web applications built on the substrate.
+
+* :mod:`repro.sites.books` — BooksOnline, the paper's running e-commerce
+  example (dynamic layouts, Bob/Alice correctness scenario).
+* :mod:`repro.sites.financial` — the brokerage/portal of §3.2.1 and the
+  deployment case study (mixed-TTL fragments, market ticks).
+* :mod:`repro.sites.synthetic` — the Table 2-parameterized test application
+  the Section 6 experiments run against.
+"""
+
+from . import books, financial, synthetic
+
+__all__ = ["books", "financial", "synthetic"]

@@ -1,0 +1,178 @@
+"""The synthetic test application driven by the Section 5/6 parameters.
+
+"Our experiments were run in a test environment that attempts to simulate
+the conditions described in Section 5.  Thus, we have incorporated the
+parameter settings in Table 2.  The test site is an ASP-based site which
+retrieves content from a site content repository." (§6)
+
+This site is that ASP application: ``n`` pages, each composed of a fixed
+number of fragments drawn from a pool of ``m`` fragments; every fragment
+has an exact byte size ``s_e``; a design-time *cacheability factor* decides
+which pool fragments are tagged.  Fragment content derives from a row in a
+backing table, so the experiment harness can drive the hit ratio through
+the real invalidation path (update row -> trigger -> BEM invalidation)
+instead of poking cache internals.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..appserver import ApplicationServer, DynamicScript, ScriptContext, SiteServices
+from ..core.fragments import Dependency
+from ..database import Database, schema
+from ..errors import ConfigurationError
+
+SYNTHETIC_TABLE = "synthetic_data"
+
+_SYNTHETIC_SCHEMA = schema(
+    SYNTHETIC_TABLE,
+    [("frag_id", "int"), ("version", "int")],
+    primary_key="frag_id",
+)
+
+#: Filler alphabet for padding fragment bodies to their exact size.  The
+#: template sentinel "<~" never occurs in it, so serialized sizes are exact.
+_FILLER = "abcdefghijklmnopqrstuvwxyz0123456789 "
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    """The Table 2 knobs that shape the synthetic application."""
+
+    num_pages: int = 10
+    fragments_per_page: int = 4
+    fragment_size: int = 1024
+    cacheability: float = 0.6
+    #: Pool of distinct fragments; defaults to pages*fragments (no sharing),
+    #: which is the layout the closed-form analysis assumes.
+    pool_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_pages <= 0 or self.fragments_per_page <= 0:
+            raise ConfigurationError("pages and fragments must be positive")
+        if self.fragment_size < 0:
+            raise ConfigurationError("fragment_size cannot be negative")
+        if not 0.0 <= self.cacheability <= 1.0:
+            raise ConfigurationError("cacheability must be in [0, 1]")
+        if self.pool_size is not None and self.pool_size <= 0:
+            raise ConfigurationError("pool_size must be positive")
+
+    @property
+    def effective_pool_size(self) -> int:
+        """Number of distinct fragments in the pool."""
+        if self.pool_size is not None:
+            return self.pool_size
+        return self.num_pages * self.fragments_per_page
+
+    def pool_indexes_for_page(self, page_id: int) -> List[int]:
+        """Which pool fragments page ``page_id`` is composed of."""
+        if not 0 <= page_id < self.num_pages:
+            raise ConfigurationError(
+                "page_id %d out of range [0, %d)" % (page_id, self.num_pages)
+            )
+        start = page_id * self.fragments_per_page
+        pool = self.effective_pool_size
+        return [(start + j) % pool for j in range(self.fragments_per_page)]
+
+    def is_cacheable(self, pool_index: int) -> bool:
+        """Design-time cacheability of pool fragment ``pool_index``.
+
+        Bresenham-style spreading: exactly ``floor(n * cacheability)`` of
+        any prefix of n fragments are cacheable, and the pattern is evenly
+        interleaved, so every page carries close to the configured
+        cacheable fraction (the X_j of the analysis).
+        """
+        c = self.cacheability
+        return math.floor((pool_index + 1) * c) - math.floor(pool_index * c) == 1
+
+    def cacheable_count(self) -> int:
+        """How many pool fragments are design-time cacheable."""
+        return sum(
+            1 for k in range(self.effective_pool_size) if self.is_cacheable(k)
+        )
+
+
+def fragment_content(pool_index: int, version: int, size: int) -> str:
+    """Deterministic fragment body of exactly ``size`` bytes (ASCII)."""
+    prefix = "F%05d v%08d " % (pool_index, version)
+    if size <= len(prefix):
+        return prefix[:size]
+    padding_needed = size - len(prefix)
+    repeats = padding_needed // len(_FILLER) + 1
+    return prefix + (_FILLER * repeats)[:padding_needed]
+
+
+class SyntheticPageScript(DynamicScript):
+    """``/page.jsp?pageID=i`` — emits the page's fragments, nothing else.
+
+    No literal layout markup is written, so the no-cache body size is
+    exactly ``sum(s_e) `` and the analytical S_NC = sum + f holds to the
+    byte (header bytes ride on the HTTP response object).
+    """
+
+    path = "/page.jsp"
+
+    def __init__(self, params: SyntheticParams) -> None:
+        self.params = params
+
+    def run(self, ctx: ScriptContext) -> None:
+        """Emit the page's fragments through the tagging API."""
+        page_id = int(ctx.request.param("pageID", "0"))
+        table = ctx.services.db.table(SYNTHETIC_TABLE)
+        for pool_index in self.params.pool_indexes_for_page(page_id):
+            block_name = (
+                "frag" if self.params.is_cacheable(pool_index) else "frag_nc"
+            )
+
+            def generate(pool_index: int = pool_index) -> str:
+                row = table.get(pool_index)
+                version = int(row["version"]) if row is not None else 0
+                return fragment_content(
+                    pool_index, version, self.params.fragment_size
+                )
+
+            ctx.block(block_name, {"id": pool_index}, generate)
+
+
+def build_services(params: SyntheticParams) -> SiteServices:
+    """Create the synthetic site's database and tagging registry."""
+    db = Database("synthetic")
+    table = db.create_table(_SYNTHETIC_SCHEMA)
+    for pool_index in range(params.effective_pool_size):
+        table.insert({"frag_id": pool_index, "version": 0})
+
+    services = SiteServices(db=db)
+    services.tags.tag(
+        "frag",
+        dependencies=lambda p: (Dependency(SYNTHETIC_TABLE, key=int(p["id"])),),
+    )
+    # "frag_nc" is left untagged on purpose: those blocks always execute.
+    return services
+
+
+def build_server(
+    params: Optional[SyntheticParams] = None,
+    services: Optional[SiteServices] = None,
+    **server_kwargs,
+) -> ApplicationServer:
+    """An application server serving the synthetic page script."""
+    if params is None:
+        params = SyntheticParams()
+    if services is None:
+        services = build_services(params)
+    server = ApplicationServer(services, **server_kwargs)
+    server.register(SyntheticPageScript(params))
+    return server
+
+
+def touch_fragment(services: SiteServices, pool_index: int) -> None:
+    """Invalidate one fragment the honest way: update its source row."""
+    table = services.db.table(SYNTHETIC_TABLE)
+    row = table.get(pool_index)
+    if row is None:
+        raise ConfigurationError("no synthetic fragment %d" % pool_index)
+    table.update({"version": int(row["version"]) + 1}, key=pool_index)

@@ -1,0 +1,39 @@
+"""Workload substrate (stands in for the WebLoad client cluster).
+
+Zipf page popularity, Poisson/deterministic/bursty arrivals, and a
+registered/anonymous visitor population, combined by a seedable generator
+so paired experiment runs replay identical request streams.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    DeterministicProcess,
+    PoissonProcess,
+)
+from .generator import PageSpec, TimedRequest, WorkloadGenerator, synthetic_pages
+from .trace import dump as dump_trace
+from .trace import from_records, load as load_trace, to_records
+from .users import UserPopulation, Visitor, split_counts
+from .zipf import ZipfChooser, ZipfDistribution, zipf_over
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "DeterministicProcess",
+    "BurstyProcess",
+    "PageSpec",
+    "TimedRequest",
+    "WorkloadGenerator",
+    "synthetic_pages",
+    "to_records",
+    "from_records",
+    "dump_trace",
+    "load_trace",
+    "UserPopulation",
+    "Visitor",
+    "split_counts",
+    "ZipfDistribution",
+    "ZipfChooser",
+    "zipf_over",
+]

@@ -1,0 +1,90 @@
+"""Request arrival processes: the f(t) of the Section 5 traffic model.
+
+The analysis integrates an arrival-rate pdf f(t) over the observation
+window; the experiments just need concrete arrival instants.  The classic
+choice for open web traffic is Poisson (exponential interarrivals); a
+deterministic process is provided for byte-accounting tests where timing
+noise is unwanted, and an on/off bursty process for stress runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+
+class ArrivalProcess:
+    """Interface: an infinite stream of interarrival gaps (seconds)."""
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """Infinite stream of interarrival gaps in seconds (override)."""
+        raise NotImplementedError
+
+    def arrival_times(
+        self, rng: random.Random, count: int, start: float = 0.0
+    ) -> Iterator[float]:
+        """The first ``count`` absolute arrival instants."""
+        now = start
+        produced = 0
+        for gap in self.gaps(rng):
+            now += gap
+            yield now
+            produced += 1
+            if produced >= count:
+                return
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at ``rate`` requests/second."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.rate = rate
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """Exponential interarrival gaps at the configured rate."""
+        while True:
+            yield -math.log(1.0 - rng.random()) / self.rate
+
+
+class DeterministicProcess(ArrivalProcess):
+    """Evenly spaced arrivals — exact, noise-free experiment timing."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.gap = 1.0 / rate
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """Constant interarrival gaps of 1/rate seconds."""
+        while True:
+            yield self.gap
+
+
+class BurstyProcess(ArrivalProcess):
+    """On/off bursts: Poisson at ``burst_rate`` inside bursts, idle between.
+
+    Models flash-crowd arrival patterns; bursts contain a geometric number
+    of requests with mean ``burst_length``.
+    """
+
+    def __init__(
+        self, burst_rate: float, idle_gap: float, burst_length: float = 10.0
+    ) -> None:
+        if burst_rate <= 0 or idle_gap < 0 or burst_length < 1:
+            raise ConfigurationError("invalid bursty-process parameters")
+        self.burst_rate = burst_rate
+        self.idle_gap = idle_gap
+        self.burst_length = burst_length
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """Idle gaps separating geometric-length Poisson bursts."""
+        continue_p = 1.0 - 1.0 / self.burst_length
+        while True:
+            yield self.idle_gap  # gap that opens a new burst
+            while rng.random() < continue_p:
+                yield -math.log(1.0 - rng.random()) / self.burst_rate

@@ -1,0 +1,110 @@
+"""The WebLoad equivalent: a deterministic, seedable request generator.
+
+Combines the three workload dimensions of the paper's model:
+
+* **what** — Zipf-popular pages (:mod:`repro.workload.zipf`),
+* **who**  — registered/anonymous visitors (:mod:`repro.workload.users`),
+* **when** — an arrival process (:mod:`repro.workload.arrivals`),
+
+into a stream of timestamped :class:`HttpRequest` objects the testbed
+replays against any origin configuration.  Everything is derived from one
+seed, so the no-cache and DPC runs of an experiment see *identical* request
+streams — the comparisons are paired, not merely statistically similar.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..appserver.http import HttpRequest
+from ..errors import ConfigurationError
+from .arrivals import ArrivalProcess, DeterministicProcess
+from .users import UserPopulation, Visitor
+from .zipf import ZipfDistribution
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """One requestable page: a path plus fixed query parameters."""
+
+    path: str
+    params: tuple = ()  # tuple of (key, value) pairs, hashable
+
+    @staticmethod
+    def create(path: str, params: Optional[Dict[str, str]] = None) -> "PageSpec":
+        """Build a PageSpec from a path and a parameter dict."""
+        items = tuple(sorted((params or {}).items()))
+        return PageSpec(path=path, params=items)
+
+    def to_request(self, visitor: Visitor, header_bytes: int = 300) -> HttpRequest:
+        """Materialize an HttpRequest for one visitor."""
+        return HttpRequest(
+            path=self.path,
+            params=dict(self.params),
+            user_id=visitor.user_id,
+            session_id=visitor.session_id,
+            header_bytes=header_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """A request with its arrival instant (virtual seconds)."""
+
+    at: float
+    request: HttpRequest
+    page_rank: int  # 1-indexed Zipf rank of the page
+
+
+class WorkloadGenerator:
+    """Produces the paired request streams for an experiment."""
+
+    def __init__(
+        self,
+        pages: Sequence[PageSpec],
+        population: Optional[UserPopulation] = None,
+        arrivals: Optional[ArrivalProcess] = None,
+        page_alpha: float = 1.0,
+        seed: int = 42,
+    ) -> None:
+        if not pages:
+            raise ConfigurationError("at least one page is required")
+        self.pages = list(pages)
+        self.population = population if population is not None else UserPopulation(
+            user_ids=[], registered_fraction=0.0
+        )
+        self.arrivals = arrivals if arrivals is not None else DeterministicProcess(
+            rate=100.0
+        )
+        self.page_zipf = ZipfDistribution(len(self.pages), alpha=page_alpha)
+        self.seed = seed
+
+    def stream(self, count: int) -> Iterator[TimedRequest]:
+        """Generate ``count`` timestamped requests, reproducibly."""
+        rng = random.Random(self.seed)
+        times = self.arrivals.arrival_times(rng, count)
+        for at in times:
+            rank = self.page_zipf.sample(rng)
+            visitor = self.population.draw(rng)
+            request = self.pages[rank - 1].to_request(visitor)
+            yield TimedRequest(at=at, request=request, page_rank=rank)
+
+    def materialize(self, count: int) -> List[TimedRequest]:
+        """The first ``count`` timed requests as a list."""
+        return list(self.stream(count))
+
+    def empirical_page_counts(self, count: int) -> Dict[str, int]:
+        """Requests per page URL, for workload sanity checks."""
+        counts: Dict[str, int] = {}
+        for timed in self.stream(count):
+            counts[timed.request.url] = counts.get(timed.request.url, 0) + 1
+        return counts
+
+
+def synthetic_pages(num_pages: int) -> List[PageSpec]:
+    """Page specs for the synthetic site's ``/page.jsp?pageID=i``."""
+    return [
+        PageSpec.create("/page.jsp", {"pageID": str(i)}) for i in range(num_pages)
+    ]

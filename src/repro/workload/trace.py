@@ -1,0 +1,83 @@
+"""Workload traces: record a request stream, replay it anywhere.
+
+Real evaluations replay access-log traces; this module gives the generator
+the same affordance.  A trace is a list of plain dicts (JSON-serializable)
+so it can be saved, diffed, hand-edited, or synthesized by other tools and
+replayed byte-for-byte against any origin configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Sequence
+
+from ..appserver.http import HttpRequest
+from ..errors import ConfigurationError
+from .generator import TimedRequest
+
+
+def to_records(trace: Iterable[TimedRequest]) -> List[dict]:
+    """Flatten timed requests into JSON-ready dicts."""
+    records = []
+    for timed in trace:
+        request = timed.request
+        records.append(
+            {
+                "at": timed.at,
+                "path": request.path,
+                "params": dict(request.params),
+                "user_id": request.user_id,
+                "session_id": request.session_id,
+                "page_rank": timed.page_rank,
+            }
+        )
+    return records
+
+
+def from_records(records: Sequence[dict]) -> List[TimedRequest]:
+    """Rebuild timed requests from dicts, validating monotone timestamps."""
+    trace: List[TimedRequest] = []
+    last_at = float("-inf")
+    for index, record in enumerate(records):
+        try:
+            at = float(record["at"])
+            request = HttpRequest(
+                path=record["path"],
+                params=dict(record.get("params", {})),
+                user_id=record.get("user_id"),
+                session_id=record.get("session_id"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                "bad trace record %d: %s" % (index, exc)
+            ) from exc
+        if at < last_at:
+            raise ConfigurationError(
+                "trace record %d goes backwards in time (%.6f < %.6f)"
+                % (index, at, last_at)
+            )
+        last_at = at
+        trace.append(
+            TimedRequest(
+                at=at, request=request,
+                page_rank=int(record.get("page_rank", 1)),
+            )
+        )
+    return trace
+
+
+def dump(trace: Iterable[TimedRequest], fp: IO[str]) -> None:
+    """Write a trace as JSON lines (one record per line)."""
+    for record in to_records(trace):
+        fp.write(json.dumps(record, sort_keys=True))
+        fp.write("\n")
+
+
+def load(fp: IO[str]) -> List[TimedRequest]:
+    """Read a JSON-lines trace written by :func:`dump`."""
+    records = []
+    for line in fp:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return from_records(records)

@@ -1,0 +1,82 @@
+"""The visitor population: registered vs non-registered users.
+
+Section 2.1's site "caters to both registered users ... and non-registered
+users"; which kind of visitor issues a request decides the page's greeting,
+recommendations, and layout.  The population model assigns each synthetic
+visit a user identity (or none) and a stable session id per user, with
+user activity itself Zipf-skewed — a few heavy users dominate, as in real
+traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .zipf import ZipfDistribution
+
+
+@dataclass(frozen=True)
+class Visitor:
+    """One request's originator."""
+
+    user_id: Optional[str]  # None for non-registered visitors
+    session_id: str
+
+    @property
+    def registered(self) -> bool:
+        """Whether this visit carries a logged-in identity."""
+        return self.user_id is not None
+
+
+class UserPopulation:
+    """Draws visitors: registered with probability ``registered_fraction``.
+
+    Registered visits are Zipf-distributed over ``user_ids``; anonymous
+    visits rotate through a pool of ``anonymous_sessions`` distinct session
+    ids (distinct browsers without accounts).
+    """
+
+    def __init__(
+        self,
+        user_ids: List[str],
+        registered_fraction: float = 0.5,
+        anonymous_sessions: int = 50,
+        user_alpha: float = 1.0,
+    ) -> None:
+        if not 0.0 <= registered_fraction <= 1.0:
+            raise ConfigurationError("registered_fraction must be in [0, 1]")
+        if registered_fraction > 0 and not user_ids:
+            raise ConfigurationError(
+                "registered_fraction > 0 requires at least one user id"
+            )
+        if anonymous_sessions <= 0:
+            raise ConfigurationError("anonymous_sessions must be positive")
+        self.user_ids = list(user_ids)
+        self.registered_fraction = registered_fraction
+        self.anonymous_sessions = anonymous_sessions
+        self._user_zipf = (
+            ZipfDistribution(len(self.user_ids), alpha=user_alpha)
+            if self.user_ids
+            else None
+        )
+
+    def draw(self, rng: random.Random) -> Visitor:
+        """Sample one visitor (registered or anonymous)."""
+        if self._user_zipf is not None and rng.random() < self.registered_fraction:
+            user_id = self.user_ids[self._user_zipf.sample(rng) - 1]
+            return Visitor(user_id=user_id, session_id="sess-%s" % user_id)
+        anon = rng.randrange(self.anonymous_sessions)
+        return Visitor(user_id=None, session_id="anon-sess-%04d" % anon)
+
+    def draw_many(self, rng: random.Random, count: int) -> List[Visitor]:
+        """Sample ``count`` visitors."""
+        return [self.draw(rng) for _ in range(count)]
+
+
+def split_counts(visitors: List[Visitor]) -> Tuple[int, int]:
+    """(registered, anonymous) visit counts — workload sanity reporting."""
+    registered = sum(1 for v in visitors if v.registered)
+    return registered, len(visitors) - registered

@@ -1,0 +1,141 @@
+"""Tests for the general per-page-composition model."""
+
+import pytest
+
+from repro.analysis import TABLE2, bytes_ratio
+from repro.analysis.heterogeneous import (
+    Application,
+    FragmentSpec,
+    PageComposition,
+    homogeneous_application,
+)
+from repro.errors import ConfigurationError
+
+
+def two_page_app(hot_cacheable=True):
+    """Hot page fully cacheable (or not), cold page the opposite."""
+    fragments = [
+        FragmentSpec("hot-frag", 1000.0, cacheable=hot_cacheable),
+        FragmentSpec("cold-frag", 1000.0, cacheable=not hot_cacheable),
+    ]
+    pages = [
+        PageComposition("hot", ("hot-frag", "hot-frag")),
+        PageComposition("cold", ("cold-frag", "cold-frag")),
+    ]
+    return Application(fragments, pages, zipf_alpha=1.0)
+
+
+class TestValidation:
+    def test_duplicate_fragment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Application(
+                [FragmentSpec("a", 10.0), FragmentSpec("a", 20.0)],
+                [PageComposition("p", ("a",))],
+            )
+
+    def test_unknown_fragment_in_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Application(
+                [FragmentSpec("a", 10.0)],
+                [PageComposition("p", ("zzz",))],
+            )
+
+    def test_empty_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageComposition("p", ())
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FragmentSpec("a", -1.0)
+
+
+class TestPageSizes:
+    def test_no_cache_size(self):
+        app = two_page_app()
+        assert app.page_size_no_cache(app.pages[0]) == 2000.0 + 500.0
+
+    def test_cached_size_full_hits(self):
+        app = two_page_app()
+        # Two cacheable fragments at h=1: 2 GET tags + header.
+        assert app.page_size_cached(app.pages[0], 1.0) == 2 * 10.0 + 500.0
+        # Cold page's fragments are non-cacheable: full content ships.
+        assert app.page_size_cached(app.pages[1], 1.0) == 2000.0 + 500.0
+
+
+class TestHomogeneousConsistency:
+    """The general model must agree exactly with the closed-form one."""
+
+    @pytest.mark.parametrize("hit_ratio", [0.0, 0.2, 0.8, 1.0])
+    def test_matches_closed_form(self, hit_ratio):
+        params = TABLE2.with_(hit_ratio=hit_ratio, cacheability=0.5)
+        app = homogeneous_application(params)
+        assert app.bytes_ratio(hit_ratio) == pytest.approx(
+            bytes_ratio(params), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("cacheability", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_matches_across_realizable_cacheability(self, cacheability):
+        """Exact agreement wherever X * fragments_per_page is integral."""
+        params = TABLE2.with_(cacheability=cacheability)
+        app = homogeneous_application(params)
+        assert app.bytes_ratio(params.hit_ratio) == pytest.approx(
+            bytes_ratio(params), rel=1e-12
+        )
+
+    def test_discreteness_gap_at_table2_cacheability(self):
+        """0.6 x 4 = 2.4 cacheable fragments per page is unrealizable; a
+        concrete application rounds down to 2/4 and saves slightly less
+        than the fractional closed form — the documented gap."""
+        app = homogeneous_application(TABLE2)
+        concrete = app.bytes_ratio(TABLE2.hit_ratio)
+        fractional = bytes_ratio(TABLE2)
+        assert concrete > fractional
+        assert concrete - fractional < 0.08
+
+
+class TestCompositionPopularityInteraction:
+    """What the homogeneous model cannot see."""
+
+    def test_hot_cacheable_beats_cold_cacheable(self):
+        hot = two_page_app(hot_cacheable=True)
+        cold = two_page_app(hot_cacheable=False)
+        # Same pool, same design-time cacheability factor (0.5 each)...
+        assert hot.cacheability_factor() == cold.cacheability_factor() == 0.5
+        # ...but savings differ hugely because traffic is Zipf-skewed.
+        assert hot.savings_percent(0.9) > cold.savings_percent(0.9) + 15.0
+
+    def test_traffic_weighted_cacheability_explains_it(self):
+        hot = two_page_app(hot_cacheable=True)
+        cold = two_page_app(hot_cacheable=False)
+        assert hot.traffic_weighted_cacheability() > 0.6
+        assert cold.traffic_weighted_cacheability() < 0.4
+
+    def test_uniform_traffic_removes_the_gap(self):
+        fragments = [
+            FragmentSpec("a", 1000.0, cacheable=True),
+            FragmentSpec("b", 1000.0, cacheable=False),
+        ]
+        hot = Application(
+            fragments,
+            [PageComposition("h", ("a", "a")), PageComposition("c", ("b", "b"))],
+            zipf_alpha=0.0,
+        )
+        cold = Application(
+            fragments,
+            [PageComposition("h", ("b", "b")), PageComposition("c", ("a", "a"))],
+            zipf_alpha=0.0,
+        )
+        assert hot.savings_percent(0.9) == pytest.approx(
+            cold.savings_percent(0.9)
+        )
+
+    def test_shared_fragment_counts_once_per_appearance(self):
+        fragments = [FragmentSpec("shared", 500.0)]
+        app = Application(
+            fragments,
+            [
+                PageComposition("p1", ("shared",)),
+                PageComposition("p2", ("shared", "shared")),
+            ],
+        )
+        assert app.page_size_no_cache(app.pages[1]) == 1000.0 + 500.0

@@ -1,0 +1,108 @@
+"""Tests for the Section 5 closed-form model."""
+
+import pytest
+
+from repro.analysis.model import (
+    breakeven_hit_ratio,
+    bytes_ratio,
+    expected_bytes_cached,
+    expected_bytes_no_cache,
+    figure_2a_series,
+    figure_2b_series,
+    fragment_bytes_cached,
+    page_access_counts,
+    response_size_cached,
+    response_size_no_cache,
+    savings_percent,
+)
+from repro.analysis.params import TABLE2
+
+
+class TestResponseSizes:
+    def test_s_nc_formula(self):
+        # 4 fragments x 1024 + 500 header.
+        assert response_size_no_cache(TABLE2) == 4 * 1024 + 500
+
+    def test_s_c_hand_computed(self):
+        # Per cacheable fragment: 0.8*10 + 0.2*(1024+20) = 216.8
+        # Per page: 4 * (0.6*216.8 + 0.4*1024) + 500
+        expected = 4 * (0.6 * 216.8 + 0.4 * 1024.0) + 500
+        assert response_size_cached(TABLE2) == pytest.approx(expected)
+
+    def test_full_hit_full_cacheability(self):
+        params = TABLE2.with_(hit_ratio=1.0, cacheability=1.0)
+        assert response_size_cached(params) == pytest.approx(4 * 10 + 500)
+
+    def test_zero_hit_adds_tag_overhead(self):
+        params = TABLE2.with_(hit_ratio=0.0)
+        # Misses cost s + 2g, so the cached response EXCEEDS the plain one.
+        assert response_size_cached(params) > response_size_no_cache(params)
+
+    def test_non_cacheable_fragment_costs_its_size(self):
+        assert fragment_bytes_cached(1024, 0.8, 10, cacheable=False) == 1024
+
+
+class TestExpectedBytes:
+    def test_homogeneous_pages_give_s_times_r(self):
+        assert expected_bytes_no_cache(TABLE2) == pytest.approx(
+            response_size_no_cache(TABLE2) * TABLE2.requests
+        )
+
+    def test_access_counts_sum_to_r(self):
+        counts = page_access_counts(TABLE2)
+        assert sum(counts) == pytest.approx(TABLE2.requests)
+        assert counts[0] > counts[-1]  # Zipf skew
+
+    def test_ratio_at_baseline(self):
+        # Documented reproduction number: ~0.578 at Table 2 settings.
+        assert bytes_ratio(TABLE2) == pytest.approx(0.5785, abs=0.001)
+
+    def test_savings_over_70_percent_at_full_cacheability(self):
+        """The abstract's 'more than 70% savings' claim."""
+        params = TABLE2.with_(cacheability=1.0)
+        assert savings_percent(params) > 70.0
+
+
+class TestBreakeven:
+    def test_breakeven_formula(self):
+        h_star = breakeven_hit_ratio(TABLE2)
+        assert h_star == pytest.approx(2 * 10 / (1024 + 10))
+
+    def test_breakeven_is_about_one_percent(self):
+        """The paper's 'as long as 1% or more fragments are served from
+        cache' claim; the printed formula gives ~1.9%."""
+        assert 0.005 < breakeven_hit_ratio(TABLE2) < 0.03
+
+    def test_savings_sign_flips_at_breakeven(self):
+        h_star = breakeven_hit_ratio(TABLE2)
+        below = savings_percent(TABLE2.with_(hit_ratio=h_star * 0.5, cacheability=1.0))
+        above = savings_percent(TABLE2.with_(hit_ratio=h_star * 2.0, cacheability=1.0))
+        assert below < 0 < above
+
+
+class TestFigureShapes:
+    def test_figure_2a_shape(self):
+        """Ratio >1 near zero size, steep early drop, monotone decrease."""
+        series = figure_2a_series(TABLE2, [1, 50, 100, 500, 1024, 2048, 5120])
+        ratios = [ratio for _, ratio in series]
+        assert ratios[0] > 1.0
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 0.6
+
+    def test_figure_2a_asymptote(self):
+        """As s -> inf, ratio -> X(1-h) + (1-X) = 0.52 at baseline."""
+        series = figure_2a_series(TABLE2, [10_000_000])
+        assert series[0][1] == pytest.approx(0.52, abs=0.01)
+
+    def test_figure_2b_shape(self):
+        """Negative at h=0, crosses zero early, max at h=1."""
+        series = figure_2b_series(TABLE2, [0.0, 0.05, 0.5, 1.0])
+        savings = [s for _, s in series]
+        assert savings[0] < 0
+        assert savings[1] > 0
+        assert all(a <= b for a, b in zip(savings, savings[1:]))
+
+    def test_figure_2b_h0_penalty_is_small(self):
+        """At h=0 the penalty is just the added tags: ~1% at baseline."""
+        series = figure_2b_series(TABLE2, [0.0])
+        assert -3.0 < series[0][1] < 0.0

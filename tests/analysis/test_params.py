@@ -1,0 +1,42 @@
+"""Tests for Table 2 parameters."""
+
+import pytest
+
+from repro.analysis.params import TABLE2, AnalysisParams
+from repro.errors import ConfigurationError
+
+
+class TestTable2:
+    def test_baseline_values(self):
+        assert TABLE2.hit_ratio == 0.8
+        assert TABLE2.fragment_size == 1024.0
+        assert TABLE2.fragments_per_page == 4
+        assert TABLE2.num_pages == 10
+        assert TABLE2.header_bytes == 500.0
+        assert TABLE2.tag_size == 10.0
+        assert TABLE2.cacheability == 0.6
+        assert TABLE2.requests == 1_000_000
+
+    def test_as_table_rows(self):
+        table = TABLE2.as_table()
+        assert table["hit ratio (h)"] == 0.8
+        assert table["tag size (g)"] == "10 bytes"
+        assert len(table) == 8
+
+    def test_with_override(self):
+        modified = TABLE2.with_(hit_ratio=0.5)
+        assert modified.hit_ratio == 0.5
+        assert modified.fragment_size == TABLE2.fragment_size
+        assert TABLE2.hit_ratio == 0.8  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisParams(hit_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            AnalysisParams(cacheability=-0.1)
+        with pytest.raises(ConfigurationError):
+            AnalysisParams(fragment_size=-1)
+        with pytest.raises(ConfigurationError):
+            AnalysisParams(num_pages=0)
+        with pytest.raises(ConfigurationError):
+            AnalysisParams(zipf_alpha=-1)

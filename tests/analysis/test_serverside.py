@@ -1,0 +1,109 @@
+"""Tests for the reconstructed server-side performance analysis."""
+
+import pytest
+
+from repro.analysis.params import TABLE2
+from repro.analysis.serverside import ServerSideModel
+from repro.network.latency import GenerationCostModel
+
+
+@pytest.fixture
+def model():
+    return ServerSideModel(params=TABLE2)
+
+
+class TestPrimitives:
+    def test_probe_vastly_cheaper_than_generation(self, model):
+        assert model.generation_time() / model.probe_time() > 100
+
+    def test_request_time_ordering(self, model):
+        assert model.request_time_cached() < model.request_time_no_cache()
+
+    def test_h0_x0_degenerates_to_no_cache(self):
+        model = ServerSideModel(params=TABLE2.with_(cacheability=0.0))
+        assert model.request_time_cached() == pytest.approx(
+            model.request_time_no_cache()
+        )
+        assert model.speedup() == pytest.approx(1.0)
+
+    def test_zero_hits_no_speedup(self, model):
+        assert model.speedup(0.0) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestDerived:
+    def test_speedup_monotone_in_hit_ratio(self, model):
+        speedups = [model.speedup(h) for h in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a <= b for a, b in zip(speedups, speedups[1:]))
+
+    def test_capacity_multiplier_equals_speedup(self, model):
+        assert model.capacity_multiplier(0.8) == pytest.approx(
+            model.speedup(0.8)
+        )
+
+    def test_capacities_are_inverses(self, model):
+        assert model.capacity_no_cache() == pytest.approx(
+            1.0 / model.request_time_no_cache()
+        )
+
+    def test_amdahl_saturation(self):
+        """With X < 1 the speedup is bounded; with X = 1 it is far larger."""
+        partial = ServerSideModel(params=TABLE2)             # X = 0.6
+        full = ServerSideModel(params=TABLE2.with_(cacheability=1.0))
+        assert partial.asymptotic_speedup() < 3.0
+        assert full.asymptotic_speedup() > 10.0
+
+    def test_series_shape(self, model):
+        series = model.speedup_series((0.0, 0.5, 1.0))
+        assert len(series) == 3
+        times = [t for _, t, _ in series]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+
+class TestAgainstTestbed:
+    def test_measured_generation_times_match_model(self):
+        """The closed form must predict the testbed's measured origin
+        times (same cost model, same parameters)."""
+        from repro.harness.testbed import TestbedConfig, run_testbed
+        from repro.sites.synthetic import SyntheticParams
+
+        synthetic = SyntheticParams(cacheability=1.0)
+        model = ServerSideModel(
+            params=TABLE2.with_(cacheability=1.0),
+            db_rows_per_fragment=1,   # the synthetic generator reads 1 row
+            cross_tier_hops=1,
+        )
+        result = run_testbed(
+            TestbedConfig(
+                mode="dpc",
+                synthetic=synthetic,
+                target_hit_ratio=1.0,
+                requests=150,
+                warmup_requests=50,
+            )
+        )
+        # At h=1 the origin time is dispatch + 4 probes; the measured
+        # response time also includes network transfer and scanning, so
+        # the model must be a LOWER bound that sits within the same
+        # order of magnitude.
+        predicted = model.request_time_cached(1.0)
+        measured = result.mean_response_time
+        assert predicted < measured < predicted * 50
+
+    def test_speedup_direction_matches_testbed(self):
+        from repro.harness.testbed import TestbedConfig, run_testbed
+        from repro.sites.synthetic import SyntheticParams
+
+        synthetic = SyntheticParams(cacheability=1.0)
+        common = dict(synthetic=synthetic, target_hit_ratio=0.95,
+                      requests=150, warmup_requests=50)
+        plain = run_testbed(TestbedConfig(mode="no_cache", **common))
+        cached = run_testbed(TestbedConfig(mode="dpc", **common))
+        measured_speedup = plain.mean_response_time / cached.mean_response_time
+        model = ServerSideModel(
+            params=TABLE2.with_(cacheability=1.0),
+            db_rows_per_fragment=1,
+            cross_tier_hops=1,
+        )
+        # Both large; the measured one includes transfer-time savings too.
+        assert measured_speedup > 3.0
+        assert model.speedup(0.95) > 3.0

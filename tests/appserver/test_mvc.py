@@ -1,0 +1,84 @@
+"""Tests for the MVC layering helpers."""
+
+import pytest
+
+from repro.appserver.mvc import (
+    BusinessComponent,
+    ComponentRegistry,
+    DataAccessor,
+    TierAccounting,
+    View,
+)
+from repro.errors import AppServerError
+
+
+class TestTierAccounting:
+    def test_hops_count_non_presentation_calls(self):
+        accounting = TierAccounting()
+        view = View(lambda **model: "html")
+        component = BusinessComponent("logic", lambda **inputs: 1)
+        accessor = DataAccessor("fetch", lambda **inputs: [])
+
+        view.render(accounting)
+        component.invoke(accounting)
+        accessor.fetch(accounting)
+        accessor.fetch(accounting)
+
+        assert accounting.presentation_calls == 1
+        assert accounting.business_calls == 1
+        assert accounting.data_access_calls == 2
+        assert accounting.cross_tier_hops == 3
+
+    def test_reset(self):
+        accounting = TierAccounting()
+        BusinessComponent("x", lambda: 1).invoke(accounting)
+        accounting.reset()
+        assert accounting.cross_tier_hops == 0
+
+
+class TestComponents:
+    def test_view_renders_model(self):
+        view = View(lambda name: "<b>%s</b>" % name)
+        assert view.render(TierAccounting(), name="x") == "<b>x</b>"
+
+    def test_component_passes_inputs(self):
+        component = BusinessComponent("adder", lambda a, b: a + b)
+        assert component.invoke(TierAccounting(), a=1, b=2) == 3
+        assert component.invocations == 1
+
+    def test_accessor_counts_invocations(self):
+        accessor = DataAccessor("rows", lambda: [1, 2])
+        accessor.fetch(TierAccounting())
+        accessor.fetch(TierAccounting())
+        assert accessor.invocations == 2
+
+
+class TestComponentRegistry:
+    def test_register_and_get(self):
+        registry = ComponentRegistry()
+        registry.component("logic", lambda: 1)
+        registry.accessor("rows", lambda: [])
+        assert registry.get_component("logic").name == "logic"
+        assert registry.get_accessor("rows").name == "rows"
+
+    def test_duplicates_rejected(self):
+        registry = ComponentRegistry()
+        registry.component("logic", lambda: 1)
+        with pytest.raises(AppServerError):
+            registry.component("logic", lambda: 2)
+        registry.accessor("rows", lambda: [])
+        with pytest.raises(AppServerError):
+            registry.accessor("rows", lambda: [])
+
+    def test_missing_lookups_raise(self):
+        registry = ComponentRegistry()
+        with pytest.raises(AppServerError):
+            registry.get_component("zzz")
+        with pytest.raises(AppServerError):
+            registry.get_accessor("zzz")
+
+    def test_names(self):
+        registry = ComponentRegistry()
+        registry.component("b_logic", lambda: 1)
+        registry.accessor("a_rows", lambda: [])
+        assert registry.names() == ["b_logic", "a_rows"]

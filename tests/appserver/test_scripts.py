@@ -1,0 +1,117 @@
+"""Tests for ScriptContext: cost accounting and the intermediate memo."""
+
+import pytest
+
+from repro.appserver.http import HttpRequest
+from repro.appserver.scripts import ScriptContext, SiteServices
+from repro.appserver.session import Session
+from repro.core.bem import BackEndMonitor
+from repro.core.tagging import PageBuilder
+from repro.database import Database, schema
+from repro.errors import ScriptError
+from repro.network.latency import GenerationCostModel
+
+
+def make_ctx(bem=None, cost_model=None):
+    db = Database()
+    table = db.create_table(schema("t", [("k", "int"), ("v", "int")]))
+    for i in range(20):
+        table.insert({"k": i, "v": i})
+    services = SiteServices(db=db)
+    services.tags.tag("cached_block")
+    builder = PageBuilder(services.tags, bem=bem)
+    ctx = ScriptContext(
+        request=HttpRequest("/x"),
+        session=Session(session_id="s"),
+        services=services,
+        builder=builder,
+        cost_model=cost_model or GenerationCostModel(),
+        bem=bem,
+    )
+    return ctx, services
+
+
+class TestCostAccounting:
+    def test_dispatch_cost_charged_upfront(self):
+        ctx, _ = make_ctx()
+        assert ctx.generation_cost_s == pytest.approx(
+            ctx.cost_model.request_dispatch_s
+        )
+
+    def test_block_requires_generator(self):
+        ctx, _ = make_ctx()
+        with pytest.raises(ScriptError):
+            ctx.block("anything", {})
+
+    def test_db_rows_raise_generation_cost(self):
+        ctx, services = make_ctx()
+        base = ctx.generation_cost_s
+        ctx.block("light", {}, lambda: "x")
+        light_cost = ctx.generation_cost_s - base
+
+        ctx2, services2 = make_ctx()
+        base2 = ctx2.generation_cost_s
+
+        def heavy():
+            list(services2.db.table("t").scan())  # touches 20 rows
+            return "x"
+
+        ctx2.block("heavy", {}, heavy)
+        heavy_cost = ctx2.generation_cost_s - base2
+        assert heavy_cost > light_cost
+
+    def test_output_bytes_raise_generation_cost(self):
+        ctx, _ = make_ctx()
+        base = ctx.generation_cost_s
+        ctx.block("small", {}, lambda: "x")
+        small = ctx.generation_cost_s - base
+
+        ctx2, _ = make_ctx()
+        base2 = ctx2.generation_cost_s
+        ctx2.block("big", {}, lambda: "x" * 50_000)
+        big = ctx2.generation_cost_s - base2
+        assert big > small * 5
+
+    def test_hit_charged_probe_cost_only(self):
+        bem = BackEndMonitor(capacity=8)
+        ctx, _ = make_ctx(bem=bem)
+        ctx.block("cached_block", {}, lambda: "content")
+        miss_cost = ctx.generation_cost_s
+
+        ctx2, _ = make_ctx(bem=bem)
+        ctx2.services.tags  # same registry name; new services but same bem
+        ctx2.block("cached_block", {}, lambda: "content")
+        hit_total = ctx2.generation_cost_s
+        expected = (
+            ctx2.cost_model.request_dispatch_s
+            + ctx2.cost_model.block_hit_cost()
+        )
+        assert hit_total == pytest.approx(expected)
+        assert hit_total < miss_cost
+
+
+class TestMemo:
+    def test_memo_without_bem_recomputes(self):
+        ctx, _ = make_ctx(bem=None)
+        calls = []
+        ctx.memo("k", lambda: calls.append(1) or "v")
+        ctx.memo("k", lambda: calls.append(1) or "v")
+        assert len(calls) == 2
+
+    def test_memo_with_bem_computes_once(self):
+        bem = BackEndMonitor(capacity=8)
+        ctx, _ = make_ctx(bem=bem)
+        calls = []
+        first = ctx.memo("k", lambda: calls.append(1) or {"profile": 1})
+        second = ctx.memo("k", lambda: calls.append(1) or {"profile": 2})
+        assert first is second
+        assert len(calls) == 1
+
+    def test_memo_shared_across_requests_via_bem(self):
+        bem = BackEndMonitor(capacity=8)
+        ctx1, _ = make_ctx(bem=bem)
+        ctx2, _ = make_ctx(bem=bem)
+        calls = []
+        ctx1.memo("profile:bob", lambda: calls.append(1) or "p")
+        ctx2.memo("profile:bob", lambda: calls.append(1) or "p")
+        assert len(calls) == 1  # the §3.2.2 shared-object win

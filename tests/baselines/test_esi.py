@@ -1,0 +1,120 @@
+"""Tests for the ESI-style dynamic page assembly baseline."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.baselines.esi import EsiAssembler
+from repro.core.bem import BackEndMonitor
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books, financial
+from repro.sites.synthetic import SyntheticParams, build_server
+
+
+def make_synthetic_esi(cacheability=1.0):
+    params = SyntheticParams(cacheability=cacheability, fragment_size=512)
+    server = build_server(params, cost_model=FREE)
+    return EsiAssembler(server), server
+
+
+class TestHappyPath:
+    def test_static_layout_site_assembles_correctly(self):
+        """Where ESI's preconditions hold, it works — and wins on bytes."""
+        esi, server = make_synthetic_esi()
+        request = HttpRequest("/page.jsp", {"pageID": "0"})
+        html1, cached1 = esi.serve(request)
+        html2, cached2 = esi.serve(request)
+        assert not cached1
+        assert cached2
+        assert html1 == html2 == server.render_reference_page(request)
+
+    def test_warm_requests_ship_zero_origin_bytes(self):
+        esi, server = make_synthetic_esi()
+        request = HttpRequest("/page.jsp", {"pageID": "0"})
+        esi.serve(request)
+        bytes_after_cold = esi.stats.origin_payload_bytes
+        esi.serve(request)
+        esi.serve(request)
+        assert esi.stats.origin_payload_bytes == bytes_after_cold
+
+    def test_template_cached_per_url(self):
+        esi, server = make_synthetic_esi()
+        esi.serve(HttpRequest("/page.jsp", {"pageID": "0"}))
+        esi.serve(HttpRequest("/page.jsp", {"pageID": "1"}))
+        assert esi.template_count() == 2
+
+    def test_fragment_cache_shared_across_urls(self):
+        params = SyntheticParams(cacheability=1.0, pool_size=4)
+        server = build_server(params, cost_model=FREE)
+        esi = EsiAssembler(server)
+        esi.serve(HttpRequest("/page.jsp", {"pageID": "0"}))
+        before = esi.stats.fragments_fetched
+        esi.serve(HttpRequest("/page.jsp", {"pageID": "1"}))  # same pool frags
+        assert esi.stats.fragments_fetched == before
+
+    def test_requires_plain_origin(self):
+        clock = SimulatedClock()
+        bem = BackEndMonitor(capacity=8, clock=clock)
+        params = SyntheticParams()
+        server = build_server(params, clock=clock, bem=bem, cost_model=FREE)
+        with pytest.raises(ValueError):
+            EsiAssembler(server)
+
+
+class TestPaperFlaws:
+    def test_first_users_template_served_to_everyone(self):
+        """§3.2.2: the cached template fixes layout AND personalization."""
+        server = books.build_server(cost_model=FREE)
+        esi = EsiAssembler(server)
+
+        bob = HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                          user_id="user000", session_id="bob")
+        alice = HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                            session_id="alice")
+
+        esi.serve(bob)                      # Bob's layout becomes the template
+        html, from_template = esi.serve(alice)
+        assert from_template
+        assert "Hello, User 000" in html    # Alice sees Bob's greeting
+        assert html != server.render_reference_page(alice)
+
+    def test_dynamic_layout_user_gets_wrong_structure(self):
+        server = books.build_server(cost_model=FREE)
+        services = server.services
+        services.profiles.set_layout(
+            "user001",
+            ["main", "navigation", "greeting", "recommendations", "promos"],
+        )
+        esi = EsiAssembler(server)
+        anon = HttpRequest("/catalog.jsp", {"categoryID": "Science"},
+                           session_id="anon")
+        user = HttpRequest("/catalog.jsp", {"categoryID": "Science"},
+                           user_id="user001", session_id="u1")
+        esi.serve(anon)                     # anonymous layout cached
+        html, _ = esi.serve(user)
+        oracle = server.render_reference_page(user)
+        assert html != oracle               # wrong slot order for this user
+
+    def test_ttl_refresh_fetches_fragment(self):
+        clock = SimulatedClock()
+        server = financial.build_server(clock=clock, cost_model=FREE)
+        esi = EsiAssembler(server)
+        request = HttpRequest("/quote.jsp", {"symbol": "ACME"}, session_id="s")
+        esi.serve(request)
+        clock.advance(financial.QUOTE_TTL_S + 1)
+        before = esi.stats.fragments_fetched
+        esi.serve(request)
+        assert esi.stats.fragments_fetched > before  # quote refreshed
+
+    def test_data_update_not_seen_until_ttl(self):
+        """ESI coherence is TTL-only: a tick inside the TTL window is
+        invisible — the DPC's trigger path has no ESI equivalent."""
+        clock = SimulatedClock()
+        server = financial.build_server(clock=clock, cost_model=FREE)
+        esi = EsiAssembler(server)
+        request = HttpRequest("/quote.jsp", {"symbol": "ACME"}, session_id="s")
+        first, _ = esi.serve(request)
+        financial.tick_quote(server.services, "ACME", 999.99, clock.now())
+        stale, _ = esi.serve(request)
+        assert "999.99" not in stale
+        assert stale == first

@@ -1,0 +1,83 @@
+"""Tests for the personalization engine."""
+
+import pytest
+
+from repro.cms import (
+    ANONYMOUS,
+    ContentRepository,
+    PersonalizationEngine,
+    ProfileStore,
+)
+from repro.database import Database
+
+
+@pytest.fixture
+def engine():
+    db = Database()
+    repository = ContentRepository(db)
+    profiles = ProfileStore(db)
+    for category in ("Fiction", "Science"):
+        for i in range(4):
+            repository.put(
+                "%s-%d" % (category, i), "article", category,
+                "%s title %d" % (category, i), "body", rank=i,
+            )
+        repository.put(
+            "%s-promo" % category, "promo", category,
+            "%s sale" % category, "deal", rank=0,
+        )
+    profiles.register("bob", "Bob", preferred_categories=["Science"])
+    profiles.register("quiet", "Quiet", show_promos=False)
+    return PersonalizationEngine(repository, profiles)
+
+
+class TestGreeting:
+    def test_registered_greeting(self, engine):
+        profile = engine.profile_for("bob")
+        assert engine.greeting_for(profile) == "Hello, Bob"
+
+    def test_anonymous_gets_no_greeting(self, engine):
+        """The Bob/Alice scenario's ground truth."""
+        profile = engine.profile_for(None)
+        assert engine.greeting_for(profile) == ""
+
+    def test_unknown_user_gets_no_greeting(self, engine):
+        assert engine.greeting_for(engine.profile_for("stranger")) == ""
+
+
+class TestRecommendations:
+    def test_prefers_profile_categories(self, engine):
+        profile = engine.profile_for("bob")
+        recs = engine.recommendations_for(profile, limit=3)
+        assert len(recs) == 3
+        assert all(item["category"] == "Science" for item in recs)
+
+    def test_anonymous_gets_default_mix(self, engine):
+        recs = engine.recommendations_for(ANONYMOUS, limit=3)
+        assert len(recs) == 3
+
+    def test_limit_respected(self, engine):
+        assert len(engine.recommendations_for(ANONYMOUS, limit=1)) == 1
+
+
+class TestPromos:
+    def test_promos_returned_by_rank(self, engine):
+        promos = engine.promos_for(ANONYMOUS, limit=2)
+        assert len(promos) == 2
+        assert all(item["kind"] == "promo" for item in promos)
+
+    def test_opt_out_suppresses_promos(self, engine):
+        profile = engine.profile_for("quiet")
+        assert engine.promos_for(profile) == []
+
+
+class TestLayout:
+    def test_layout_from_profile(self, engine):
+        assert engine.layout_for(ANONYMOUS) == list(ANONYMOUS.layout_order)
+
+    def test_same_request_different_users_different_content(self, engine):
+        """Same 'URL' (no parameters differ), different users, different
+        fragments — the core dynamic-content property."""
+        bob = engine.profile_for("bob")
+        anon = engine.profile_for(None)
+        assert engine.greeting_for(bob) != engine.greeting_for(anon)

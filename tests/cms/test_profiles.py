@@ -1,0 +1,92 @@
+"""Tests for user profiles."""
+
+import pytest
+
+from repro.cms.profiles import ANONYMOUS, DEFAULT_LAYOUT, ProfileStore
+from repro.database import Database
+from repro.errors import UnknownUserError
+
+
+@pytest.fixture
+def store():
+    profiles = ProfileStore(Database())
+    profiles.register(
+        "bob",
+        "Bob",
+        preferred_categories=["Fiction"],
+        layout_order=["greeting", "navigation", "main", "recommendations", "promos"],
+        show_promos=False,
+    )
+    return profiles
+
+
+class TestRegistration:
+    def test_registered_profile(self, store):
+        profile = store.get("bob")
+        assert profile.registered
+        assert profile.display_name == "Bob"
+        assert profile.preferred_categories == ("Fiction",)
+        assert profile.layout_order[0] == "greeting"
+        assert not profile.show_promos
+
+    def test_defaults(self, store):
+        store.register("carol", "Carol")
+        profile = store.get("carol")
+        assert profile.layout_order == DEFAULT_LAYOUT
+        assert profile.show_promos
+
+    def test_invalid_layout_slot_rejected(self, store):
+        with pytest.raises(UnknownUserError):
+            store.register("dave", "Dave", layout_order=["sidebar"])
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(UnknownUserError):
+            store.get("nobody")
+
+
+class TestLookup:
+    def test_lookup_registered(self, store):
+        assert store.lookup("bob").registered
+
+    def test_lookup_none_is_anonymous(self, store):
+        assert store.lookup(None) is ANONYMOUS
+        assert store.lookup("") is ANONYMOUS
+
+    def test_lookup_unknown_is_anonymous(self, store):
+        """Unknown cookie falls back to the default experience silently."""
+        assert not store.lookup("stranger").registered
+
+    def test_anonymous_has_default_layout_and_no_greeting_name(self):
+        assert ANONYMOUS.layout_order == DEFAULT_LAYOUT
+        assert ANONYMOUS.display_name == ""
+        assert not ANONYMOUS.registered
+
+
+class TestUpdates:
+    def test_set_layout(self, store):
+        store.set_layout("bob", ["main", "navigation"])
+        assert store.get("bob").layout_order == ("main", "navigation")
+
+    def test_set_layout_validates_slots(self, store):
+        with pytest.raises(UnknownUserError):
+            store.set_layout("bob", ["nonsense"])
+
+    def test_set_layout_unknown_user(self, store):
+        with pytest.raises(UnknownUserError):
+            store.set_layout("nobody", ["main"])
+
+    def test_set_preferences(self, store):
+        store.set_preferences("bob", ["Science", "History"])
+        assert store.get("bob").preferred_categories == ("Science", "History")
+
+    def test_profile_edits_emit_triggers(self, store):
+        events = []
+        store.db.bus.subscribe(events.append, table="user_profiles")
+        store.set_layout("bob", ["main"])
+        assert len(events) == 1
+        assert events[0].changed_columns == ("layout_order",)
+
+    def test_user_ids_and_len(self, store):
+        store.register("carol", "Carol")
+        assert sorted(store.user_ids()) == ["bob", "carol"]
+        assert len(store) == 2

@@ -1,0 +1,90 @@
+"""Tests for the CMS content repository."""
+
+import pytest
+
+from repro.cms.repository import CONTENT_TABLE, ContentRepository
+from repro.database import Database
+from repro.errors import ContentNotFound
+
+
+@pytest.fixture
+def repo():
+    repository = ContentRepository(Database())
+    repository.put("a1", "article", "Fiction", "Title A", "Body A", rank=1)
+    repository.put("a2", "article", "Fiction", "Title B", "Body B", rank=0)
+    repository.put("p1", "promo", "Fiction", "Sale", "Half off", rank=0)
+    repository.put("s1", "article", "Science", "Quarks", "Body", rank=0)
+    return repository
+
+
+class TestCrud:
+    def test_get(self, repo):
+        assert repo.get("a1")["title"] == "Title A"
+
+    def test_get_missing(self, repo):
+        with pytest.raises(ContentNotFound):
+            repo.get("zzz")
+
+    def test_put_replaces(self, repo):
+        repo.put("a1", "article", "Fiction", "New Title", "New Body", rank=9)
+        item = repo.get("a1")
+        assert item["title"] == "New Title"
+        assert item["rank"] == 9
+
+    def test_touch_updates_body(self, repo):
+        repo.touch("a1", "fresh body", updated_at=12.5)
+        item = repo.get("a1")
+        assert item["body"] == "fresh body"
+        assert item["updated_at"] == 12.5
+
+    def test_touch_missing(self, repo):
+        with pytest.raises(ContentNotFound):
+            repo.touch("zzz", "x", 0.0)
+
+    def test_remove(self, repo):
+        repo.remove("a1")
+        with pytest.raises(ContentNotFound):
+            repo.get("a1")
+        with pytest.raises(ContentNotFound):
+            repo.remove("a1")
+
+    def test_len(self, repo):
+        assert len(repo) == 4
+
+
+class TestQueries:
+    def test_by_category_ordered_by_rank(self, repo):
+        items = repo.by_category("Fiction", kind="article")
+        assert [item["content_id"] for item in items] == ["a2", "a1"]
+
+    def test_by_category_kind_filter(self, repo):
+        promos = repo.by_category("Fiction", kind="promo")
+        assert [item["content_id"] for item in promos] == ["p1"]
+
+    def test_by_category_limit(self, repo):
+        assert len(repo.by_category("Fiction", limit=2)) == 2
+
+    def test_by_category_empty(self, repo):
+        assert repo.by_category("Nothing") == []
+
+    def test_categories(self, repo):
+        assert repo.categories() == ["Fiction", "Science"]
+
+
+class TestSharedDatabase:
+    def test_two_repositories_share_one_table(self):
+        db = Database()
+        first = ContentRepository(db)
+        second = ContentRepository(db)
+        first.put("x", "article", "C", "T", "B")
+        assert second.get("x")["title"] == "T"
+        assert db.has_table(CONTENT_TABLE)
+
+    def test_updates_flow_through_triggers(self):
+        db = Database()
+        repo = ContentRepository(db)
+        events = []
+        db.bus.subscribe(events.append, table=CONTENT_TABLE)
+        repo.put("x", "article", "C", "T", "B")
+        repo.touch("x", "new", 1.0)
+        assert [event.operation for event in events] == ["insert", "update"]

@@ -1,0 +1,20 @@
+"""Shared fixtures and an import-path safety net for the test suite."""
+
+import os
+import sys
+
+import pytest
+
+# Ensure `repro` is importable even when the package was not installed
+# (e.g. running pytest straight from a fresh checkout).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.network.clock import SimulatedClock  # noqa: E402
+
+
+@pytest.fixture
+def clock():
+    """A fresh virtual clock starting at t=0."""
+    return SimulatedClock()

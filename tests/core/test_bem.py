@@ -1,0 +1,161 @@
+"""Tests for the Back End Monitor's run-time protocol."""
+
+import pytest
+
+from repro.core.bem import BackEndMonitor, ObjectCache
+from repro.core.fragments import Dependency, FragmentID, FragmentMetadata
+from repro.core.template import GetInstruction, Literal, SetInstruction, TemplateConfig
+from repro.database import Database, schema
+from repro.errors import ConfigurationError
+from repro.network.clock import SimulatedClock
+
+
+def fid(name, **params):
+    return FragmentID.create(name, params or None)
+
+
+@pytest.fixture
+def bem():
+    return BackEndMonitor(capacity=16)
+
+
+class TestProtocol:
+    def test_case1_miss_emits_set_with_content(self, bem):
+        instruction = bem.process_block(fid("f"), FragmentMetadata(), lambda: "hello")
+        assert isinstance(instruction, SetInstruction)
+        assert instruction.content == "hello"
+        assert bem.stats.fragment_misses == 1
+
+    def test_case2_hit_emits_get_and_skips_generator(self, bem):
+        bem.process_block(fid("f"), FragmentMetadata(), lambda: "hello")
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return "regenerated"
+
+        instruction = bem.process_block(fid("f"), FragmentMetadata(), generate)
+        assert isinstance(instruction, GetInstruction)
+        assert calls == []  # the whole point: the block body never ran
+        assert bem.stats.fragment_hits == 1
+
+    def test_get_reuses_set_key(self, bem):
+        set_instr = bem.process_block(fid("f"), FragmentMetadata(), lambda: "x")
+        get_instr = bem.process_block(fid("f"), FragmentMetadata(), lambda: "x")
+        assert get_instr.key == set_instr.key
+
+    def test_non_cacheable_block_is_literal_and_always_runs(self, bem):
+        meta = FragmentMetadata(cacheable=False)
+        first = bem.process_block(fid("nc"), meta, lambda: "a")
+        second = bem.process_block(fid("nc"), meta, lambda: "b")
+        assert first == Literal("a")
+        assert second == Literal("b")
+        assert bem.stats.cacheable_blocks == 0
+
+    def test_ttl_expiry_regenerates(self):
+        clock = SimulatedClock()
+        bem = BackEndMonitor(capacity=8, clock=clock)
+        meta = FragmentMetadata(ttl=10.0)
+        bem.process_block(fid("f"), meta, lambda: "v1")
+        clock.advance(11.0)
+        instruction = bem.process_block(fid("f"), meta, lambda: "v2")
+        assert isinstance(instruction, SetInstruction)
+        assert instruction.content == "v2"
+
+    def test_bytes_accounting(self, bem):
+        bem.process_block(fid("f"), FragmentMetadata(), lambda: "x" * 100)
+        bem.process_block(fid("f"), FragmentMetadata(), lambda: "x" * 100)
+        assert bem.stats.bytes_generated == 100
+        assert bem.stats.bytes_served_from_dpc == 100
+
+    def test_hit_ratio_property(self, bem):
+        bem.process_block(fid("f"), FragmentMetadata(), lambda: "x")
+        bem.process_block(fid("f"), FragmentMetadata(), lambda: "x")
+        assert bem.hit_ratio == 0.5
+
+    def test_capacity_must_fit_key_width(self):
+        with pytest.raises(ConfigurationError):
+            BackEndMonitor(capacity=1000, template_config=TemplateConfig(key_width=2))
+
+
+class TestDatabaseIntegration:
+    def test_update_invalidates_dependent_fragment(self, bem):
+        db = Database()
+        table = db.create_table(schema("t", [("k", "int"), ("v", "int")]))
+        table.insert({"k": 1, "v": 0})
+        bem.attach_database(db.bus)
+
+        meta = FragmentMetadata(dependencies=(Dependency("t", key=1),))
+        bem.process_block(fid("f"), meta, lambda: "v0")
+        table.update({"v": 1}, key=1)
+        instruction = bem.process_block(fid("f"), meta, lambda: "v1")
+        assert isinstance(instruction, SetInstruction)
+        assert instruction.content == "v1"
+
+    def test_unrelated_update_leaves_fragment_cached(self, bem):
+        db = Database()
+        table = db.create_table(schema("t", [("k", "int"), ("v", "int")]))
+        table.insert({"k": 1, "v": 0})
+        table.insert({"k": 2, "v": 0})
+        bem.attach_database(db.bus)
+
+        meta = FragmentMetadata(dependencies=(Dependency("t", key=1),))
+        bem.process_block(fid("f"), meta, lambda: "v0")
+        table.update({"v": 9}, key=2)  # different row
+        instruction = bem.process_block(fid("f"), meta, lambda: "never")
+        assert isinstance(instruction, GetInstruction)
+
+
+class TestManagement:
+    def test_explicit_invalidate_fragment(self, bem):
+        bem.process_block(fid("g", user="bob"), FragmentMetadata(), lambda: "x")
+        assert bem.invalidate_fragment("g", {"user": "bob"})
+        assert not bem.invalidate_fragment("g", {"user": "bob"})
+
+    def test_invalidate_block_across_params(self, bem):
+        for user in ("a", "b", "c"):
+            bem.process_block(fid("g", user=user), FragmentMetadata(), lambda: "x")
+        assert bem.invalidate_block("g") == 3
+
+    def test_flush(self, bem):
+        bem.process_block(fid("a"), FragmentMetadata(), lambda: "x")
+        bem.process_block(fid("b"), FragmentMetadata(), lambda: "x")
+        assert bem.flush() == 2
+        assert bem.directory.valid_count() == 0
+
+    def test_with_policy_constructor(self):
+        bem = BackEndMonitor.with_policy(16, "lfu")
+        assert bem.directory.policy.name == "lfu"
+
+
+class TestObjectCache:
+    def test_fetch_computes_once(self, clock):
+        cache = ObjectCache(clock)
+        calls = []
+        compute = lambda: calls.append(1) or {"x": 1}
+        first = cache.fetch("k", compute)
+        second = cache.fetch("k", compute)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.hits == 1
+
+    def test_ttl_expiry(self, clock):
+        cache = ObjectCache(clock)
+        cache.fetch("k", lambda: "v1", ttl=5.0)
+        clock.advance(6.0)
+        assert cache.fetch("k", lambda: "v2", ttl=5.0) == "v2"
+        assert cache.misses == 2
+
+    def test_invalidate(self, clock):
+        cache = ObjectCache(clock)
+        cache.fetch("k", lambda: 1)
+        assert cache.invalidate("k")
+        assert not cache.invalidate("k")
+
+    def test_invalidate_prefix(self, clock):
+        cache = ObjectCache(clock)
+        cache.fetch("profile:bob", lambda: 1)
+        cache.fetch("profile:alice", lambda: 2)
+        cache.fetch("account:bob", lambda: 3)
+        assert cache.invalidate_prefix("profile:") == 2
+        assert len(cache) == 1

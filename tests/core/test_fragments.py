@@ -1,0 +1,115 @@
+"""Tests for fragment identity, metadata, and dependencies."""
+
+import pytest
+
+from repro.core.fragments import Dependency, Fragment, FragmentID, FragmentMetadata
+from repro.errors import ConfigurationError
+
+
+class TestFragmentID:
+    def test_canonical_without_params(self):
+        assert FragmentID.create("navbar").canonical() == "navbar"
+
+    def test_canonical_sorts_params(self):
+        a = FragmentID.create("listing", {"b": 2, "a": 1})
+        b = FragmentID.create("listing", {"a": 1, "b": 2})
+        assert a == b
+        assert a.canonical() == "listing?a=1&b=2"
+
+    def test_params_stringified(self):
+        frag = FragmentID.create("f", {"n": 7})
+        assert frag.canonical() == "f?n=7"
+
+    def test_distinct_users_distinct_ids(self):
+        """The Bob/Alice fix: same block, different params, different IDs."""
+        bob = FragmentID.create("greeting", {"user": "bob"})
+        alice = FragmentID.create("greeting", {"user": ""})
+        assert bob != alice
+        assert bob.canonical() != alice.canonical()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FragmentID.create("")
+
+    def test_hashable_and_ordered(self):
+        ids = {FragmentID.create("a"), FragmentID.create("b"), FragmentID.create("a")}
+        assert len(ids) == 2
+        assert FragmentID.create("a") < FragmentID.create("b")
+
+
+class TestFragmentMetadata:
+    def test_defaults(self):
+        meta = FragmentMetadata()
+        assert meta.cacheable
+        assert meta.ttl is None
+        assert meta.dependencies == ()
+
+    def test_zero_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FragmentMetadata(ttl=0)
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FragmentMetadata(ttl=-5)
+
+
+class TestFragment:
+    def test_size_in_bytes_utf8(self):
+        frag = Fragment(FragmentID.create("f"), content="héllo")
+        assert frag.size_bytes == 6  # é is two bytes
+
+    def test_expiry(self):
+        frag = Fragment(
+            FragmentID.create("f"),
+            content="x",
+            metadata=FragmentMetadata(ttl=10.0),
+            created_at=100.0,
+        )
+        assert not frag.expired(105.0)
+        assert frag.expired(110.0)
+
+    def test_no_ttl_never_expires(self):
+        frag = Fragment(FragmentID.create("f"), content="x")
+        assert not frag.expired(1e12)
+
+
+class TestDependency:
+    def test_table_match(self):
+        dep = Dependency("products")
+        assert dep.matches("products", "a", ())
+        assert not dep.matches("reviews", "a", ())
+
+    def test_key_narrowing(self):
+        dep = Dependency("products", key="a")
+        assert dep.matches("products", "a", ())
+        assert not dep.matches("products", "b", ())
+
+    def test_column_narrowing(self):
+        dep = Dependency("products", column="price")
+        assert dep.matches("products", "a", ("price", "title"))
+        assert not dep.matches("products", "a", ("title",))
+
+    def test_column_narrowing_insert_matches_all(self):
+        """Inserts report no changed columns; treat as touching all."""
+        dep = Dependency("products", column="price")
+        assert dep.matches("products", "a", ())
+
+    def test_where_filter_against_row(self):
+        dep = Dependency("products", where_column="category", where_value="books")
+        assert dep.matches("products", "a", (), row={"category": "books"})
+        assert not dep.matches("products", "a", (), row={"category": "toys"})
+
+    def test_where_filter_matches_old_image_too(self):
+        """A row moving OUT of the watched set still invalidates."""
+        dep = Dependency("products", where_column="category", where_value="books")
+        assert dep.matches(
+            "products",
+            "a",
+            ("category",),
+            row={"category": "toys"},
+            old_row={"category": "books"},
+        )
+
+    def test_where_filter_without_images_is_permissive(self):
+        dep = Dependency("products", where_column="category", where_value="books")
+        assert dep.matches("products", "a", ())

@@ -1,0 +1,124 @@
+"""Tests for the data-driven invalidation manager."""
+
+import pytest
+
+from repro.core.cache_directory import CacheDirectory
+from repro.core.fragments import Dependency, FragmentID, FragmentMetadata
+from repro.core.invalidation import InvalidationManager
+from repro.database import Database, schema
+
+
+def fid(name, **params):
+    return FragmentID.create(name, params or None)
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    table = db.create_table(
+        schema("products", [("pid", "str"), ("category", "str"), ("price", "float")])
+    )
+    directory = CacheDirectory(16)
+    manager = InvalidationManager(directory)
+    manager.attach(db.bus)
+    return db, table, directory, manager
+
+
+def cache(directory, manager, fragment_id, deps):
+    directory.insert(fragment_id, FragmentMetadata(dependencies=deps), 10, 0.0)
+    manager.watch(fragment_id, deps)
+
+
+class TestRowLevel:
+    def test_matching_update_invalidates(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        cache(directory, manager, fid("detail", pid="a"),
+              (Dependency("products", key="a"),))
+        table.update({"price": 2.0}, key="a")
+        assert directory.lookup(fid("detail", pid="a"), 0.0) is None
+        assert manager.fragments_invalidated == 1
+
+    def test_other_row_update_spares_fragment(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        table.insert({"pid": "b", "category": "books", "price": 1.0})
+        cache(directory, manager, fid("detail", pid="a"),
+              (Dependency("products", key="a"),))
+        table.update({"price": 9.0}, key="b")
+        assert directory.lookup(fid("detail", pid="a"), 0.0) is not None
+
+    def test_delete_invalidates(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        cache(directory, manager, fid("detail", pid="a"),
+              (Dependency("products", key="a"),))
+        table.delete(key="a")
+        assert directory.lookup(fid("detail", pid="a"), 0.0) is None
+
+
+class TestWhereFiltered:
+    def test_category_scoped_dependency(self, setup):
+        """The §3.2.1 brokerage story: only the matching category dies."""
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        table.insert({"pid": "t", "category": "toys", "price": 1.0})
+        cache(directory, manager, fid("listing", cat="books"),
+              (Dependency("products", where_column="category",
+                          where_value="books"),))
+        cache(directory, manager, fid("listing", cat="toys"),
+              (Dependency("products", where_column="category",
+                          where_value="toys"),))
+        table.update({"price": 5.0}, key="a")  # a books row
+        assert directory.lookup(fid("listing", cat="books"), 0.0) is None
+        assert directory.lookup(fid("listing", cat="toys"), 0.0) is not None
+
+    def test_insert_into_watched_category_invalidates(self, setup):
+        db, table, directory, manager = setup
+        cache(directory, manager, fid("listing", cat="books"),
+              (Dependency("products", where_column="category",
+                          where_value="books"),))
+        table.insert({"pid": "new", "category": "books", "price": 1.0})
+        assert directory.lookup(fid("listing", cat="books"), 0.0) is None
+
+
+class TestHousekeeping:
+    def test_watcher_removed_after_invalidation(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        cache(directory, manager, fid("f"), (Dependency("products"),))
+        table.update({"price": 2.0}, key="a")
+        assert manager.watched_count() == 0
+
+    def test_stale_watcher_cleaned_lazily(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        cache(directory, manager, fid("f"), (Dependency("products"),))
+        # Invalidate behind the manager's back (e.g. TTL/eviction).
+        directory.invalidate(fid("f"))
+        table.update({"price": 2.0}, key="a")  # event triggers cleanup
+        assert manager.watched_count() == 0
+        assert manager.fragments_invalidated == 0
+
+    def test_unwatch(self, setup):
+        db, table, directory, manager = setup
+        cache(directory, manager, fid("f"), (Dependency("products"),))
+        manager.unwatch(fid("f"))
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        assert directory.lookup(fid("f"), 0.0) is not None
+
+    def test_detach_all(self, setup):
+        db, table, directory, manager = setup
+        cache(directory, manager, fid("f"), (Dependency("products"),))
+        manager.detach_all()
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        assert manager.events_seen == 0
+
+    def test_multiple_dependencies_any_match(self, setup):
+        db, table, directory, manager = setup
+        reviews = db.create_table(schema("reviews", [("rid", "str")]))
+        deps = (Dependency("products", key="a"), Dependency("reviews"))
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        cache(directory, manager, fid("page"), deps)
+        reviews.insert({"rid": "r1"})
+        assert directory.lookup(fid("page"), 0.0) is None

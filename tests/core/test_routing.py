@@ -1,0 +1,130 @@
+"""Tests for forward-proxy request routing (§7 extension)."""
+
+import pytest
+
+from repro.core.routing import ConsistentHashRing, RequestRouter
+from repro.errors import ConfigurationError, RoutingError
+
+
+class TestConsistentHashRing:
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing()
+        ring.add_node("p1")
+        assert ring.preference_list("anything") == ["p1"]
+
+    def test_preference_list_covers_all_nodes(self):
+        ring = ConsistentHashRing()
+        for name in ("p1", "p2", "p3"):
+            ring.add_node(name)
+        assert sorted(ring.preference_list("key")) == ["p1", "p2", "p3"]
+
+    def test_deterministic(self):
+        def build():
+            ring = ConsistentHashRing()
+            for name in ("p1", "p2", "p3"):
+                ring.add_node(name)
+            return ring
+
+        assert build().preference_list("user:bob") == build().preference_list("user:bob")
+
+    def test_remove_node(self):
+        ring = ConsistentHashRing()
+        ring.add_node("p1")
+        ring.add_node("p2")
+        ring.remove_node("p1")
+        assert ring.nodes() == ["p2"]
+        assert ring.preference_list("k") == ["p2"]
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing()
+        ring.add_node("p1")
+        with pytest.raises(ConfigurationError):
+            ring.add_node("p1")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing().remove_node("zzz")
+
+    def test_adding_node_moves_minority_of_keys(self):
+        """Consistent hashing: adding one node to N should remap ~1/(N+1)."""
+        ring = ConsistentHashRing(replicas=128)
+        for name in ("p1", "p2", "p3"):
+            ring.add_node(name)
+        keys = ["user:%04d" % i for i in range(1000)]
+        before = {key: ring.preference_list(key)[0] for key in keys}
+        ring.add_node("p4")
+        moved = sum(
+            1 for key in keys if ring.preference_list(key)[0] != before[key]
+        )
+        assert 0 < moved < 500  # far less than a full reshuffle
+
+    def test_balance_is_reasonable(self):
+        ring = ConsistentHashRing(replicas=128)
+        for name in ("p1", "p2", "p3", "p4"):
+            ring.add_node(name)
+        counts = {}
+        for i in range(4000):
+            owner = ring.preference_list("sess:%d" % i)[0]
+            counts[owner] = counts.get(owner, 0) + 1
+        assert min(counts.values()) > 4000 / 4 * 0.4  # no starved node
+
+
+class TestRequestRouter:
+    def make_router(self):
+        router = RequestRouter()
+        for name in ("p1", "p2", "p3"):
+            router.add_proxy(name)
+        return router
+
+    def test_affinity_prefers_user_identity(self):
+        router = self.make_router()
+        assert router.affinity_key("bob", "sess-1") == "user:bob"
+        assert router.affinity_key(None, "sess-1") == "session:sess-1"
+        assert router.affinity_key(None, None) == "anonymous"
+
+    def test_same_user_same_proxy(self):
+        router = self.make_router()
+        first = router.route(user_id="bob")
+        assert all(router.route(user_id="bob") == first for _ in range(10))
+
+    def test_failover_to_next_live_proxy(self):
+        router = self.make_router()
+        primary = router.route(user_id="bob")
+        router.mark_down(primary)
+        backup = router.route(user_id="bob")
+        assert backup != primary
+        assert router.failovers == 1
+
+    def test_recovery_restores_affinity(self):
+        router = self.make_router()
+        primary = router.route(user_id="bob")
+        router.mark_down(primary)
+        router.route(user_id="bob")
+        router.mark_up(primary)
+        assert router.route(user_id="bob") == primary
+
+    def test_all_down_raises(self):
+        router = self.make_router()
+        for name in ("p1", "p2", "p3"):
+            router.mark_down(name)
+        with pytest.raises(RoutingError):
+            router.route(user_id="bob")
+
+    def test_no_proxies_raises(self):
+        with pytest.raises(RoutingError):
+            RequestRouter().route(user_id="bob")
+
+    def test_mark_down_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_router().mark_down("zzz")
+
+    def test_live_proxies(self):
+        router = self.make_router()
+        router.mark_down("p2")
+        assert router.live_proxies() == ["p1", "p3"]
+
+    def test_remove_proxy_clears_down_state(self):
+        router = self.make_router()
+        router.mark_down("p2")
+        router.remove_proxy("p2")
+        assert router.live_proxies() == ["p1", "p3"]

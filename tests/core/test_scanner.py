@@ -1,0 +1,99 @@
+"""Tests for KMP matching and the tag scanner."""
+
+import pytest
+
+from repro.core.scanner import (
+    TagScanner,
+    failure_function,
+    kmp_find,
+    kmp_find_all,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFailureFunction:
+    def test_no_repetition(self):
+        assert failure_function("abcd") == [0, 0, 0, 0]
+
+    def test_classic_example(self):
+        assert failure_function("abab") == [0, 0, 1, 2]
+
+    def test_aaaa(self):
+        assert failure_function("aaaa") == [0, 1, 2, 3]
+
+    def test_mixed(self):
+        assert failure_function("abacabab") == [0, 0, 1, 0, 1, 2, 3, 2]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            failure_function("")
+
+
+class TestKmpFindAll:
+    def test_basic(self):
+        assert kmp_find_all("abcabcabc", "abc") == [0, 3, 6]
+
+    def test_overlapping_matches(self):
+        assert kmp_find_all("aaaa", "aa") == [0, 1, 2]
+
+    def test_no_match(self):
+        assert kmp_find_all("abcdef", "xyz") == []
+
+    def test_pattern_longer_than_text(self):
+        assert kmp_find_all("ab", "abc") == []
+
+    def test_match_at_end(self):
+        assert kmp_find_all("xxab", "ab") == [2]
+
+    def test_agrees_with_str_find(self):
+        text = "the template sentinel <~ appears <~ twice and a half <"
+        assert kmp_find_all(text, "<~") == [22, 33]
+
+    def test_empty_text(self):
+        assert kmp_find_all("", "ab") == []
+
+
+class TestKmpFind:
+    def test_first_match(self):
+        assert kmp_find("abcabc", "abc") == 0
+
+    def test_with_start(self):
+        assert kmp_find("abcabc", "abc", start=1) == 3
+
+    def test_not_found(self):
+        assert kmp_find("abc", "zz") == -1
+
+    def test_matches_str_find_semantics(self):
+        text = "xyxyxyzxy"
+        for pattern in ("xy", "xyz", "zz"):
+            for start in range(len(text)):
+                assert kmp_find(text, pattern, start) == text.find(pattern, start)
+
+
+class TestTagScanner:
+    def test_positions(self):
+        scanner = TagScanner("<~")
+        assert scanner.positions("a<~b<~c") == [1, 4]
+
+    def test_bytes_scanned_accumulates(self):
+        scanner = TagScanner("<~")
+        scanner.positions("x" * 100)
+        scanner.positions("y" * 50)
+        assert scanner.bytes_scanned == 150
+
+    def test_reset_counters(self):
+        scanner = TagScanner("<~")
+        scanner.positions("abc")
+        scanner.reset_counters()
+        assert scanner.bytes_scanned == 0
+
+    def test_empty_sentinel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TagScanner("")
+
+    def test_single_pass_guarantee(self):
+        """Scanned bytes equal text length exactly — linear, one pass."""
+        scanner = TagScanner("<~")
+        text = "<~" * 500
+        scanner.positions(text)
+        assert scanner.bytes_scanned == len(text)

@@ -1,0 +1,121 @@
+"""Tests for aggregate queries (COUNT/SUM/AVG/MIN/MAX, GROUP BY)."""
+
+import pytest
+
+from repro.database import Database, schema
+from repro.database.sql import Aggregate, parse
+from repro.errors import SchemaError, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    table = database.create_table(
+        schema(
+            "reviews",
+            [("rid", "str"), ("product", "str"), ("stars", "int")],
+            nullable=["stars"],
+        )
+    )
+    table.create_index("product")
+    data = [
+        ("r1", "a", 5), ("r2", "a", 3), ("r3", "a", None),
+        ("r4", "b", 4), ("r5", "b", 2),
+    ]
+    for rid, product, stars in data:
+        table.insert({"rid": rid, "product": product, "stars": stars})
+    return database
+
+
+class TestParsing:
+    def test_count_star(self):
+        statement = parse("SELECT COUNT(*) FROM reviews")
+        assert statement.aggregates == (Aggregate("count", None),)
+        assert statement.is_aggregate
+
+    def test_mixed_aggregates(self):
+        statement = parse("SELECT COUNT(*), AVG(stars), MAX(stars) FROM reviews")
+        assert len(statement.aggregates) == 3
+
+    def test_group_by_with_key_column(self):
+        statement = parse(
+            "SELECT product, COUNT(*) FROM reviews GROUP BY product"
+        )
+        assert statement.group_by == "product"
+        assert statement.columns == ("product",)
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM reviews")
+
+    def test_plain_column_without_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT product, COUNT(*) FROM reviews")
+
+    def test_group_by_without_aggregates_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT product FROM reviews GROUP BY product")
+
+
+class TestExecution:
+    def test_count_star(self, db):
+        result = db.execute("SELECT COUNT(*) FROM reviews")
+        assert result.rows == [{"count(*)": 5}]
+
+    def test_count_column_skips_nulls(self, db):
+        result = db.execute("SELECT COUNT(stars) FROM reviews")
+        assert result.rows == [{"count(stars)": 4}]
+
+    def test_sum_avg_min_max(self, db):
+        result = db.execute(
+            "SELECT SUM(stars), AVG(stars), MIN(stars), MAX(stars) FROM reviews"
+        )
+        row = result.rows[0]
+        assert row["sum(stars)"] == 14
+        assert row["avg(stars)"] == pytest.approx(3.5)
+        assert row["min(stars)"] == 2
+        assert row["max(stars)"] == 5
+
+    def test_aggregate_with_where(self, db):
+        result = db.execute(
+            "SELECT AVG(stars) FROM reviews WHERE product = 'a'"
+        )
+        assert result.rows[0]["avg(stars)"] == pytest.approx(4.0)
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT product, COUNT(*), AVG(stars) FROM reviews GROUP BY product"
+        )
+        assert result.rows == [
+            {"product": "a", "count(*)": 3, "avg(stars)": 4.0},
+            {"product": "b", "count(*)": 2, "avg(stars)": 3.0},
+        ]
+
+    def test_group_by_with_limit(self, db):
+        result = db.execute(
+            "SELECT product, COUNT(*) FROM reviews GROUP BY product LIMIT 1"
+        )
+        assert result.rowcount == 1
+
+    def test_empty_input_scalar_semantics(self, db):
+        result = db.execute(
+            "SELECT COUNT(*), SUM(stars) FROM reviews WHERE product = 'zzz'"
+        )
+        assert result.rows == [{"count(*)": 0, "sum(stars)": None}]
+
+    def test_empty_input_grouped_yields_no_groups(self, db):
+        result = db.execute(
+            "SELECT product, COUNT(*) FROM reviews WHERE product = 'zzz' "
+            "GROUP BY product"
+        )
+        assert result.rows == []
+
+    def test_unknown_aggregate_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("SELECT SUM(nope) FROM reviews")
+
+    def test_aggregate_uses_index_for_where(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM reviews WHERE product = 'b'"
+        )
+        assert result.rows_touched == 2  # index probe, not a scan

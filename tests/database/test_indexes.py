@@ -1,0 +1,63 @@
+"""Tests for the hash index."""
+
+import pytest
+
+from repro.database.indexes import HashIndex
+from repro.errors import SchemaError
+
+
+class TestHashIndex:
+    def test_add_and_lookup(self):
+        index = HashIndex("t", "c")
+        index.add("books", "a")
+        index.add("books", "b")
+        index.add("toys", "c")
+        assert index.lookup("books") == ["a", "b"]
+        assert index.lookup("toys") == ["c"]
+
+    def test_lookup_missing_is_empty(self):
+        assert HashIndex("t", "c").lookup("nothing") == []
+
+    def test_remove(self):
+        index = HashIndex("t", "c")
+        index.add("books", "a")
+        index.add("books", "b")
+        index.remove("books", "a")
+        assert index.lookup("books") == ["b"]
+
+    def test_remove_last_entry_clears_bucket(self):
+        index = HashIndex("t", "c")
+        index.add("books", "a")
+        index.remove("books", "a")
+        assert index.lookup("books") == []
+        assert len(index) == 0
+
+    def test_remove_missing_raises(self):
+        index = HashIndex("t", "c")
+        with pytest.raises(SchemaError):
+            index.remove("books", "a")
+
+    def test_null_values_indexed(self):
+        index = HashIndex("t", "c")
+        index.add(None, "a")
+        assert index.lookup(None) == ["a"]
+
+    def test_distinct_values(self):
+        index = HashIndex("t", "c")
+        index.add("x", 1)
+        index.add("y", 2)
+        index.add(None, 3)
+        assert set(index.distinct_values()) == {"x", "y", None}
+
+    def test_lookup_returns_copy(self):
+        index = HashIndex("t", "c")
+        index.add("x", 1)
+        result = index.lookup("x")
+        result.append(2)
+        assert index.lookup("x") == [1]
+
+    def test_probe_counter(self):
+        index = HashIndex("t", "c")
+        index.lookup("x")
+        index.lookup("y")
+        assert index.probes == 2

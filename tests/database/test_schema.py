@@ -1,0 +1,94 @@
+"""Tests for table schemas and value validation."""
+
+import pytest
+
+from repro.database.schema import Column, TableSchema, schema
+from repro.errors import SchemaError
+
+
+class TestColumn:
+    def test_valid_column(self):
+        col = Column("price", "float")
+        assert col.validate_value(3) == 3.0
+        assert col.validate_value(3.5) == 3.5
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "decimal")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name!", "int")
+
+    def test_not_null_enforced(self):
+        col = Column("x", "int")
+        with pytest.raises(SchemaError):
+            col.validate_value(None)
+
+    def test_nullable_accepts_none(self):
+        assert Column("x", "int", nullable=True).validate_value(None) is None
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "int").validate_value("five")
+
+    def test_bool_not_accepted_for_int(self):
+        with pytest.raises(SchemaError):
+            Column("x", "int").validate_value(True)
+
+    def test_bool_column_accepts_bool(self):
+        assert Column("x", "bool").validate_value(True) is True
+
+    def test_int_accepted_for_float_and_coerced(self):
+        value = Column("x", "float").validate_value(7)
+        assert value == 7.0
+        assert isinstance(value, float)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t", (Column("a", "int"), Column("a", "str")), primary_key="a"
+            )
+
+    def test_missing_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", "int"),), primary_key="zzz")
+
+    def test_nullable_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t", (Column("a", "int", nullable=True),), primary_key="a"
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (), primary_key="a")
+
+    def test_validate_row_fills_nullable(self):
+        s = schema("t", [("a", "int"), ("b", "str")], nullable=["b"])
+        row = s.validate_row({"a": 1})
+        assert row == {"a": 1, "b": None}
+
+    def test_validate_row_missing_required(self):
+        s = schema("t", [("a", "int"), ("b", "str")])
+        with pytest.raises(SchemaError):
+            s.validate_row({"a": 1})
+
+    def test_validate_row_unknown_column(self):
+        s = schema("t", [("a", "int")])
+        with pytest.raises(SchemaError):
+            s.validate_row({"a": 1, "zzz": 2})
+
+    def test_column_lookup(self):
+        s = schema("t", [("a", "int"), ("b", "str")])
+        assert s.column("b").type == "str"
+        assert s.has_column("a")
+        assert not s.has_column("c")
+        with pytest.raises(SchemaError):
+            s.column("c")
+
+    def test_default_pk_is_first_column(self):
+        s = schema("t", [("a", "int"), ("b", "str")])
+        assert s.primary_key == "a"

@@ -1,0 +1,153 @@
+"""Tests for the tiny SQL dialect: tokenizer and parser."""
+
+import pytest
+
+from repro.database.sql import (
+    PLACEHOLDER,
+    Condition,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    count_placeholders,
+    parse,
+    tokenize,
+)
+from repro.errors import SqlSyntaxError
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a FROM t WHERE b = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "keyword", "ident", "keyword",
+                         "ident", "op", "number"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT a FROM t WHERE b = 'it''s'")
+        assert tokens[-1].text == "'it''s'"
+
+    def test_unrecognized_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT a FROM t WHERE b = @1")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select A from T")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].text == "select"
+        assert tokens[1].text == "A"  # identifier case preserved
+
+
+class TestSelectParsing:
+    def test_star_select(self):
+        statement = parse("SELECT * FROM products")
+        assert isinstance(statement, SelectStatement)
+        assert statement.is_star
+        assert statement.table == "products"
+
+    def test_column_list(self):
+        statement = parse("SELECT a, b, c FROM t")
+        assert statement.columns == ("a", "b", "c")
+
+    def test_where_conjunction(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 AND b != 'x' AND c >= 2.5")
+        assert len(statement.where) == 3
+        assert statement.where[0] == Condition("a", "=", 1)
+        assert statement.where[1] == Condition("b", "!=", "x")
+        assert statement.where[2] == Condition("c", ">=", 2.5)
+
+    def test_diamond_means_not_equal(self):
+        statement = parse("SELECT * FROM t WHERE a <> 3")
+        assert statement.where[0].op == "!="
+
+    def test_like(self):
+        statement = parse("SELECT * FROM t WHERE name LIKE 'abc%'")
+        assert statement.where[0].op == "like"
+
+    def test_order_and_limit(self):
+        statement = parse("SELECT * FROM t ORDER BY price DESC LIMIT 5")
+        assert statement.order_by == "price"
+        assert statement.descending
+        assert statement.limit == 5
+
+    def test_order_asc_default(self):
+        statement = parse("SELECT * FROM t ORDER BY price")
+        assert not statement.descending
+
+    def test_null_true_false_literals(self):
+        statement = parse("SELECT * FROM t WHERE a = NULL AND b = TRUE AND c = FALSE")
+        values = [cond.value for cond in statement.where]
+        assert values == [None, True, False]
+
+    def test_placeholders(self):
+        statement = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        assert count_placeholders(statement) == 2
+        assert statement.where[0].value is PLACEHOLDER
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t garbage")
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t LIMIT 'five'")
+
+
+class TestOtherStatements:
+    def test_insert(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ("a", "b")
+        assert statement.values == (1, "x")
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments == (("a", 1), ("b", "x"))
+        assert statement.where[0].column == "c"
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, DeleteStatement)
+
+    def test_delete_without_where(self):
+        statement = parse("DELETE FROM t")
+        assert statement.where == ()
+
+    def test_empty_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("DROP TABLE t")
+
+    def test_placeholder_count_insert_update(self):
+        assert count_placeholders(parse("INSERT INTO t (a, b) VALUES (?, ?)")) == 2
+        assert count_placeholders(parse("UPDATE t SET a = ? WHERE b = ?")) == 2
+
+
+class TestConditionMatching:
+    def test_comparison_operators(self):
+        assert Condition("x", "<", 5).matches(3, 5)
+        assert not Condition("x", "<", 5).matches(7, 5)
+        assert Condition("x", ">=", 5).matches(5, 5)
+
+    def test_null_comparisons_fail_except_equality(self):
+        assert not Condition("x", "<", 5).matches(None, 5)
+        assert Condition("x", "=", None).matches(None, None)
+
+    def test_like_matching(self):
+        cond = Condition("x", "like", "ab%z")
+        assert cond.matches("abz", "ab%z")
+        assert cond.matches("ab123z", "ab%z")
+        assert not cond.matches("ab123", "ab%z")
+
+    def test_like_underscore_single_char(self):
+        cond = Condition("x", "like", "a_c")
+        assert cond.matches("abc", "a_c")
+        assert not cond.matches("abbc", "a_c")

@@ -1,0 +1,70 @@
+"""Tests for the trigger bus."""
+
+import pytest
+
+from repro.database.triggers import INSERT, ChangeEvent, TriggerBus
+
+
+def make_event(table="t", op=INSERT, key=1):
+    return ChangeEvent(table=table, operation=op, key=key, row={"k": key})
+
+
+class TestChangeEvent:
+    def test_invalid_operation_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeEvent(table="t", operation="upsert", key=1)
+
+
+class TestTriggerBus:
+    def test_table_scoped_subscription(self):
+        bus = TriggerBus()
+        seen = []
+        bus.subscribe(seen.append, table="a")
+        bus.publish(make_event(table="a"))
+        bus.publish(make_event(table="b"))
+        assert len(seen) == 1
+
+    def test_global_subscription_sees_everything(self):
+        bus = TriggerBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish(make_event(table="a"))
+        bus.publish(make_event(table="b"))
+        assert len(seen) == 2
+
+    def test_unsubscribe(self):
+        bus = TriggerBus()
+        seen = []
+        bus.subscribe(seen.append, table="a")
+        bus.unsubscribe(seen.append, table="a")
+        bus.publish(make_event(table="a"))
+        assert seen == []
+
+    def test_unsubscribe_global(self):
+        bus = TriggerBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish(make_event())
+        assert seen == []
+
+    def test_dispatch_order_table_then_global(self):
+        bus = TriggerBus()
+        order = []
+        bus.subscribe(lambda e: order.append("table"), table="t")
+        bus.subscribe(lambda e: order.append("global"))
+        bus.publish(make_event())
+        assert order == ["table", "global"]
+
+    def test_listener_count(self):
+        bus = TriggerBus()
+        bus.subscribe(lambda e: None, table="a")
+        bus.subscribe(lambda e: None)
+        assert bus.listener_count("a") == 1
+        assert bus.listener_count() == 2
+
+    def test_events_dispatched_counter(self):
+        bus = TriggerBus()
+        bus.publish(make_event())
+        bus.publish(make_event())
+        assert bus.events_dispatched == 2

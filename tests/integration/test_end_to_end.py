@@ -1,0 +1,122 @@
+"""Integration: the full Figure 4 pipeline under realistic workloads."""
+
+import pytest
+
+from repro.harness.testbed import TestbedConfig, run_testbed
+from repro.network.message import ProtocolOverheadModel
+from repro.sites.synthetic import SyntheticParams
+
+
+class TestBandwidthClaims:
+    def test_warm_high_cacheability_beats_70_percent_savings(self):
+        """The abstract: 'more than 70% savings in bytes transmitted'."""
+        common = dict(
+            synthetic=SyntheticParams(cacheability=1.0),
+            target_hit_ratio=0.95,
+            requests=600,
+            warmup_requests=150,
+        )
+        dpc = run_testbed(TestbedConfig(mode="dpc", **common))
+        plain = run_testbed(TestbedConfig(mode="no_cache", **common))
+        savings = 1 - dpc.response_payload_bytes / plain.response_payload_bytes
+        assert savings > 0.70
+
+    def test_experimental_sits_near_analytical_at_baseline(self):
+        from repro.analysis import TABLE2, bytes_ratio
+
+        common = dict(target_hit_ratio=0.8, requests=800, warmup_requests=200)
+        dpc = run_testbed(TestbedConfig(mode="dpc", **common))
+        plain = run_testbed(TestbedConfig(mode="no_cache", **common))
+        measured = dpc.response_payload_bytes / plain.response_payload_bytes
+        analytical = bytes_ratio(TABLE2.with_(hit_ratio=dpc.measured_hit_ratio))
+        assert measured == pytest.approx(analytical, abs=0.08)
+
+    def test_wire_gap_has_papers_sign(self):
+        """Experimental (wire) ratio above the analytical (payload) one:
+        the Figure 3(b) relationship, caused by protocol headers."""
+        common = dict(target_hit_ratio=0.8, requests=500, warmup_requests=100)
+        dpc = run_testbed(TestbedConfig(mode="dpc", **common))
+        plain = run_testbed(TestbedConfig(mode="no_cache", **common))
+        payload_ratio = dpc.response_payload_bytes / plain.response_payload_bytes
+        wire_ratio = dpc.response_wire_bytes / plain.response_wire_bytes
+        assert wire_ratio > payload_ratio
+
+    def test_gap_vanishes_without_protocol_overhead(self):
+        common = dict(
+            target_hit_ratio=0.8,
+            requests=400,
+            warmup_requests=100,
+            overhead=ProtocolOverheadModel(enabled=False),
+        )
+        dpc = run_testbed(TestbedConfig(mode="dpc", **common))
+        assert dpc.response_wire_bytes == dpc.response_payload_bytes
+
+
+class TestThreeModeOrdering:
+    def test_bytes_ordering(self):
+        """dpc < no_cache == backend on origin-link bytes."""
+        common = dict(target_hit_ratio=0.9, requests=400, warmup_requests=100)
+        results = {
+            mode: run_testbed(TestbedConfig(mode=mode, **common))
+            for mode in ("no_cache", "dpc", "backend")
+        }
+        assert (
+            results["dpc"].response_payload_bytes
+            < results["no_cache"].response_payload_bytes
+        )
+        assert (
+            results["backend"].response_payload_bytes
+            == results["no_cache"].response_payload_bytes
+        )
+
+    def test_latency_ordering(self):
+        """Both caches beat no-cache; the DPC also saves transfer time."""
+        common = dict(target_hit_ratio=0.9, requests=400, warmup_requests=100)
+        results = {
+            mode: run_testbed(TestbedConfig(mode=mode, **common))
+            for mode in ("no_cache", "dpc", "backend")
+        }
+        assert results["dpc"].mean_response_time < results["no_cache"].mean_response_time
+        assert (
+            results["backend"].mean_response_time
+            < results["no_cache"].mean_response_time
+        )
+
+    def test_correctness_in_all_modes(self):
+        for mode in ("no_cache", "dpc", "backend"):
+            result = run_testbed(
+                TestbedConfig(
+                    mode=mode,
+                    requests=200,
+                    warmup_requests=50,
+                    correctness_every=7,
+                )
+            )
+            assert result.pages_incorrect == 0, mode
+
+
+class TestScanCostMeasured:
+    def test_result1_measured_at_full_cacheability(self):
+        """Measured firewall+DPC scan work confirms Result 1's direction."""
+        common = dict(
+            synthetic=SyntheticParams(cacheability=1.0),
+            target_hit_ratio=0.95,
+            requests=500,
+            warmup_requests=150,
+        )
+        dpc = run_testbed(TestbedConfig(mode="dpc", **common))
+        plain = run_testbed(TestbedConfig(mode="no_cache", **common))
+        scan_with_cache = dpc.firewall_bytes + dpc.dpc_scanned_bytes
+        assert scan_with_cache < plain.firewall_bytes
+
+    def test_scan_cost_loses_at_low_cacheability(self):
+        common = dict(
+            synthetic=SyntheticParams(cacheability=0.25),
+            target_hit_ratio=0.8,
+            requests=400,
+            warmup_requests=100,
+        )
+        dpc = run_testbed(TestbedConfig(mode="dpc", **common))
+        plain = run_testbed(TestbedConfig(mode="no_cache", **common))
+        scan_with_cache = dpc.firewall_bytes + dpc.dpc_scanned_bytes
+        assert scan_with_cache > plain.firewall_bytes

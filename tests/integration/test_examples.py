@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs clean and says what it should.
+
+Examples are documentation that executes; these tests keep them honest as
+the library evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "cold cache" in out
+        assert "warm cache" in out
+        assert "<~G:0000~>" in out            # the wire template is shown
+        assert "only the header regenerated" in out
+
+    def test_books_online(self):
+        out = run_example("books_online.py")
+        assert out.count("WRONG PAGE") == 2   # page cache + ESI fail
+        assert out.count("CORRECT") >= 2      # DPC serves both correctly
+        assert "dynamic layouts" in out
+
+    def test_brokerage(self):
+        out = run_example("brokerage.py")
+        assert "market ticks" in out
+        assert "reduction" in out
+        assert "matches the uncached oracle: True" in out
+
+    def test_edge_network(self):
+        out = run_example("edge_network.py")
+        assert "session affinity" in out
+        assert "failover" in out
+        assert "page still correct" in out
+
+    def test_operations(self):
+        out = run_example("operations.py")
+        assert "warming a cold proxy" in out
+        assert "fail-stop as designed" in out
+        assert "page correct: True" in out
+
+    def test_all_examples_exist(self):
+        present = sorted(
+            name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+        )
+        assert present == [
+            "books_online.py",
+            "brokerage.py",
+            "edge_network.py",
+            "operations.py",
+            "quickstart.py",
+            "reproduce_figures.py",
+        ]

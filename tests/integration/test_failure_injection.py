@@ -1,0 +1,118 @@
+"""Failure injection: proxy restarts, desync, and capacity exhaustion.
+
+The protocol's safety property is *fail-stop*: a desynchronized DPC (slots
+lost while the BEM's directory still believes they are resident) must
+raise — never silently serve a wrong or empty fragment.  Recovery is the
+documented restart protocol: clear the DPC *and* flush the BEM directory.
+"""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.errors import AssemblyError, DirectoryFullError
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books
+from repro.sites.synthetic import SyntheticParams, build_server
+
+
+def books_stack():
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=256, clock=clock)
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=256)
+    return server, bem, dpc
+
+
+class TestProxyRestart:
+    def test_restart_without_flush_is_fail_stop(self):
+        """DPC loses its slots; the BEM still emits GETs -> loud failure."""
+        server, bem, dpc = books_stack()
+        request = HttpRequest("/home.jsp", session_id="s")
+        dpc.process_response(server.handle(request).body)
+
+        dpc.clear()  # the proxy restarted; the BEM was not told
+
+        with pytest.raises(AssemblyError):
+            dpc.process_response(server.handle(request).body)
+
+    def test_restart_protocol_recovers(self):
+        """clear() + flush() together restore correct service."""
+        server, bem, dpc = books_stack()
+        request = HttpRequest("/home.jsp", session_id="s")
+        dpc.process_response(server.handle(request).body)
+
+        dpc.clear()
+        bem.flush()  # the restart protocol's second half
+
+        page = dpc.process_response(server.handle(request).body)
+        assert page.html == server.render_reference_page(request)
+        # And the very next request is warm again.
+        warm = server.handle(request)
+        assert warm.meta["hits"] > 0
+
+    def test_fresh_dpc_instance_with_flushed_bem(self):
+        server, bem, dpc = books_stack()
+        request = HttpRequest("/home.jsp", session_id="s")
+        dpc.process_response(server.handle(request).body)
+
+        replacement = DynamicProxyCache(capacity=256)  # new box entirely
+        bem.flush()
+        page = replacement.process_response(server.handle(request).body)
+        assert page.html == server.render_reference_page(request)
+
+
+class TestCapacityExhaustion:
+    def test_tiny_cache_still_correct_under_churn(self):
+        """Capacity 2 against a site with dozens of fragments: constant
+        eviction and key recycling, yet every page assembles correctly."""
+        clock = SimulatedClock()
+        bem = BackEndMonitor(capacity=2, clock=clock)
+        server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+        bem.attach_database(server.services.db.bus)
+        dpc = DynamicProxyCache(capacity=2)
+
+        for i in range(12):
+            request = HttpRequest(
+                "/catalog.jsp",
+                {"categoryID": ("Fiction", "Science", "History")[i % 3]},
+                user_id="user%03d" % (i % 4),
+                session_id="s%d" % (i % 4),
+            )
+            page = dpc.process_response(server.handle(request).body)
+            assert page.html == server.render_reference_page(request)
+        assert bem.directory.stats.evictions > 0
+
+    def test_directory_full_with_no_evictable_entry(self):
+        """A directory of valid entries with a policy that refuses to pick
+        a victim (empty candidate set cannot happen; simulate by capacity 1
+        and inserting through the normal path — the LRU always finds one,
+        so the DirectoryFullError path is only reachable via the freeList).
+        """
+        from repro.core.cache_directory import FreeList
+
+        free = FreeList(1)
+        free.pop()
+        with pytest.raises(DirectoryFullError):
+            free.pop()
+
+
+class TestClockSkewAndIdle:
+    def test_long_idle_period_then_burst(self):
+        """Hours of idle time expire every TTL'd fragment; the burst after
+        must regenerate cleanly (no stale slot exposure)."""
+        clock = SimulatedClock()
+        bem = BackEndMonitor(capacity=64, clock=clock)
+        params = SyntheticParams(cacheability=1.0)
+        server = build_server(params, clock=clock, bem=bem, cost_model=FREE)
+        bem.attach_database(server.services.db.bus)
+        dpc = DynamicProxyCache(capacity=64)
+
+        request = HttpRequest("/page.jsp", {"pageID": "0"})
+        dpc.process_response(server.handle(request).body)
+        clock.advance(3600.0 * 24)
+        page = dpc.process_response(server.handle(request).body)
+        assert page.html == server.render_reference_page(request)

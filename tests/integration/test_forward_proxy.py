@@ -1,0 +1,113 @@
+"""Integration: the §7 forward-proxy extension — routing + coherency
+working together over a multi-edge deployment of BooksOnline."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.coherency import ProxyGroup
+from repro.core.routing import RequestRouter
+from repro.network.latency import FREE
+from repro.sites import books
+
+
+class ForwardDeployment:
+    """Three edge DPCs, one origin, session-affinity routing."""
+
+    def __init__(self):
+        self.group = ProxyGroup(capacity_per_proxy=512)
+        self.router = RequestRouter()
+        for name in ("edge-1", "edge-2", "edge-3"):
+            self.group.add_proxy(name)
+            self.router.add_proxy(name)
+        self.services = books.build_services()
+        self.group.attach_database(self.services.db.bus)
+        # One origin server per proxy's BEM (the BEM is origin-side state
+        # scoped to the proxy it manages).
+        self.servers = {}
+        for name in self.group.names():
+            bem, _ = self.group.member(name)
+            self.servers[name] = books.build_server(
+                services=self.services, clock=self.group.clock, bem=bem,
+                cost_model=FREE,
+            )
+        self.oracle = books.build_server(
+            services=self.services, clock=self.group.clock, cost_model=FREE
+        )
+
+    def serve(self, request):
+        proxy_name = self.router.route(request.user_id, request.session_id)
+        _, dpc = self.group.member(proxy_name)
+        response = self.servers[proxy_name].handle(request)
+        return dpc.process_response(response.body).html, proxy_name
+
+
+@pytest.fixture
+def deployment():
+    return ForwardDeployment()
+
+
+def catalog_request(user, category="Fiction"):
+    return HttpRequest(
+        "/catalog.jsp", {"categoryID": category},
+        user_id=user, session_id="sess-%s" % (user or "anon"),
+    )
+
+
+class TestRoutingAffinity:
+    def test_users_stick_to_their_proxy(self, deployment):
+        _, first = deployment.serve(catalog_request("user000"))
+        for _ in range(5):
+            _, proxy = deployment.serve(catalog_request("user000"))
+            assert proxy == first
+
+    def test_users_spread_across_proxies(self, deployment):
+        proxies = {
+            deployment.serve(catalog_request("user%03d" % i))[1]
+            for i in range(10)
+        }
+        assert len(proxies) >= 2
+
+    def test_affinity_builds_hit_ratio(self, deployment):
+        for _ in range(4):
+            deployment.serve(catalog_request("user001"))
+        assert deployment.group.group_hit_ratio() > 0.5
+
+
+class TestCorrectnessAcrossEdges:
+    def test_every_edge_serves_correct_pages(self, deployment):
+        for i in range(8):
+            user = "user%03d" % (i % 4) if i % 2 == 0 else None
+            request = catalog_request(user)
+            html, _ = deployment.serve(request)
+            assert html == deployment.oracle.render_reference_page(request)
+
+    def test_update_coheres_across_all_edges(self, deployment):
+        # Warm all three edges with the Fiction listing via distinct users.
+        users = ["user%03d" % i for i in range(9)]
+        for user in users:
+            deployment.serve(catalog_request(user))
+
+        deployment.services.db.table(books.PRODUCTS_TABLE).update(
+            {"price": 3.33}, key="FIC-000"
+        )
+
+        for user in users:
+            request = catalog_request(user)
+            html, _ = deployment.serve(request)
+            assert "$3.33" in html
+            assert html == deployment.oracle.render_reference_page(request)
+
+    def test_failover_preserves_correctness(self, deployment):
+        request = catalog_request("user002")
+        _, primary = deployment.serve(request)
+        deployment.router.mark_down(primary)
+        html, backup = deployment.serve(request)
+        assert backup != primary
+        assert html == deployment.oracle.render_reference_page(request)
+
+    def test_coherency_traffic_scales_with_proxy_count(self, deployment):
+        before = deployment.group.coherency_messages
+        deployment.services.db.table(books.PRODUCTS_TABLE).update(
+            {"price": 9.99}, key="SCI-000"
+        )
+        assert deployment.group.coherency_messages == before + 3

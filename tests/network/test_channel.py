@@ -1,0 +1,89 @@
+"""Tests for simulated channels."""
+
+import pytest
+
+from repro.errors import ChannelClosed, ConfigurationError
+from repro.network.channel import Channel, LinkParameters
+from repro.network.clock import SimulatedClock
+from repro.network.message import ProtocolOverheadModel, WireMessage, response_message
+
+
+def make_channel(**kwargs):
+    return Channel("link", endpoint_a="external", endpoint_b="origin", **kwargs)
+
+
+class TestLinkParameters:
+    def test_transfer_time_includes_latency_and_serialization(self):
+        link = LinkParameters(latency_s=0.001, bandwidth_bytes_per_s=1000.0)
+        assert link.transfer_time(500) == pytest.approx(0.001 + 0.5)
+
+    def test_zero_bandwidth_means_infinitely_fast(self):
+        link = LinkParameters(latency_s=0.002, bandwidth_bytes_per_s=0.0)
+        assert link.transfer_time(10**9) == pytest.approx(0.002)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkParameters(latency_s=-0.1)
+
+
+class TestChannel:
+    def test_send_counts_messages(self):
+        channel = make_channel()
+        channel.send(response_message(100, source="origin", destination="external"))
+        assert channel.messages_sent == 1
+
+    def test_send_advances_clock(self):
+        clock = SimulatedClock()
+        channel = make_channel(
+            clock=clock,
+            link=LinkParameters(latency_s=0.01, bandwidth_bytes_per_s=0.0),
+        )
+        channel.send(response_message(10, source="origin", destination="external"))
+        assert clock.now() == pytest.approx(0.01)
+
+    def test_sniffer_sees_traffic(self):
+        channel = make_channel()
+        sniffer = channel.attach_sniffer()
+        channel.send(response_message(100, source="origin", destination="external"))
+        assert sniffer.response_payload_bytes == 100
+
+    def test_sniffer_adopts_channel_overhead(self):
+        channel = make_channel(overhead=ProtocolOverheadModel(enabled=False))
+        sniffer = channel.attach_sniffer()
+        channel.send(response_message(100, source="origin", destination="external"))
+        assert sniffer.response_wire_bytes == 100
+
+    def test_detached_sniffer_stops_counting(self):
+        channel = make_channel()
+        sniffer = channel.attach_sniffer()
+        channel.detach_sniffer(sniffer)
+        channel.send(response_message(100, source="origin", destination="external"))
+        assert sniffer.response_payload_bytes == 0
+
+    def test_wrong_endpoints_rejected(self):
+        channel = make_channel()
+        with pytest.raises(ConfigurationError):
+            channel.send(response_message(10, source="mars", destination="origin"))
+
+    def test_unnamed_endpoints_allowed(self):
+        channel = make_channel()
+        message = WireMessage(kind="response", payload_bytes=10)
+        channel.send(message)  # no endpoints set: accepted
+        assert channel.messages_sent == 1
+
+    def test_closed_channel_rejects_sends(self):
+        channel = make_channel()
+        channel.close()
+        assert channel.closed
+        with pytest.raises(ChannelClosed):
+            channel.send(response_message(10, source="origin", destination="external"))
+
+    def test_transfer_time_returned(self):
+        channel = make_channel(
+            link=LinkParameters(latency_s=0.0, bandwidth_bytes_per_s=1000.0),
+            overhead=ProtocolOverheadModel(enabled=False),
+        )
+        elapsed = channel.send(
+            response_message(500, source="origin", destination="external")
+        )
+        assert elapsed == pytest.approx(0.5)

@@ -1,0 +1,55 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.clock import SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock(start=-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock()
+        assert clock.advance(3.0) == 3.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = SimulatedClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ConfigurationError):
+            clock.advance(-0.1)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimulatedClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 5.0
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(9.0)
+        clock.reset()
+        assert clock.now() == 0.0

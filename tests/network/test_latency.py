@@ -1,0 +1,54 @@
+"""Tests for the generation-delay model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.latency import FREE, GenerationCostModel
+
+
+class TestGenerationCostModel:
+    def test_free_model_costs_nothing(self):
+        assert FREE.block_generation_cost(10_000, db_rows=100) == 0.0
+        assert FREE.block_hit_cost() == 0.0
+        assert FREE.assembly_cost(50) == 0.0
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GenerationCostModel(compute_per_byte_s=-1.0)
+
+    def test_generation_cost_scales_with_bytes(self):
+        model = GenerationCostModel()
+        small = model.block_generation_cost(100)
+        large = model.block_generation_cost(10_000)
+        assert large > small
+
+    def test_generation_cost_scales_with_rows(self):
+        model = GenerationCostModel()
+        no_rows = model.block_generation_cost(100, db_rows=0)
+        many_rows = model.block_generation_cost(100, db_rows=1000)
+        assert many_rows > no_rows
+
+    def test_db_connection_wait_charged_only_when_needed(self):
+        model = GenerationCostModel()
+        with_db = model.block_generation_cost(100, needs_db_connection=True)
+        without_db = model.block_generation_cost(100, needs_db_connection=False)
+        assert with_db - without_db == pytest.approx(model.db_connection_wait_s)
+
+    def test_hit_is_vastly_cheaper_than_generation(self):
+        """The server-side win: a directory probe vs running the block."""
+        model = GenerationCostModel()
+        hit = model.block_hit_cost()
+        miss = model.block_generation_cost(1024, db_rows=10)
+        assert miss / hit > 100
+
+    def test_cross_tier_hops_priced(self):
+        model = GenerationCostModel()
+        two = model.block_generation_cost(0, cross_tier_hops=2,
+                                          needs_db_connection=False)
+        five = model.block_generation_cost(0, cross_tier_hops=5,
+                                           needs_db_connection=False)
+        assert five - two == pytest.approx(3 * model.cross_tier_hop_s)
+
+    def test_assembly_cost_linear_in_fragments(self):
+        model = GenerationCostModel()
+        assert model.assembly_cost(10) == pytest.approx(10 * model.dpc_slot_op_s)

@@ -1,0 +1,63 @@
+"""Tests for the Sniffer byte counters."""
+
+from repro.network.message import ProtocolOverheadModel, request_message, response_message
+from repro.network.sniffer import Sniffer, TrafficCounters
+
+
+class TestTrafficCounters:
+    def test_record_accumulates(self):
+        counters = TrafficCounters()
+        model = ProtocolOverheadModel()
+        counters.record(response_message(1000), model)
+        counters.record(response_message(2000), model)  # 2000 B -> 2 packets
+        assert counters.messages == 2
+        assert counters.payload_bytes == 3000
+        assert counters.wire_bytes == 3000 + 3 * 40 + 2 * 120
+        assert counters.packets == 3
+
+    def test_merge(self):
+        a = TrafficCounters(messages=1, payload_bytes=10, wire_bytes=50, packets=1)
+        b = TrafficCounters(messages=2, payload_bytes=20, wire_bytes=100, packets=2)
+        merged = a.merged_with(b)
+        assert merged.messages == 3
+        assert merged.payload_bytes == 30
+        assert merged.wire_bytes == 150
+        assert merged.packets == 3
+
+
+class TestSniffer:
+    def test_separates_kinds(self):
+        sniffer = Sniffer()
+        sniffer.observe(request_message(100))
+        sniffer.observe(response_message(1000))
+        sniffer.observe(response_message(500))
+        assert sniffer.counters("request").messages == 1
+        assert sniffer.counters("response").messages == 2
+        assert sniffer.response_payload_bytes == 1500
+
+    def test_total_spans_kinds(self):
+        sniffer = Sniffer()
+        sniffer.observe(request_message(100))
+        sniffer.observe(response_message(200))
+        assert sniffer.total_payload_bytes == 300
+        assert sniffer.total().messages == 2
+
+    def test_wire_bytes_include_headers(self):
+        sniffer = Sniffer()
+        sniffer.observe(response_message(1000))
+        assert sniffer.response_wire_bytes == 1000 + 40 + 120
+        assert sniffer.total_wire_bytes == 1160
+
+    def test_unseen_kind_is_zero(self):
+        assert Sniffer().counters("request").payload_bytes == 0
+
+    def test_reset(self):
+        sniffer = Sniffer()
+        sniffer.observe(response_message(1000))
+        sniffer.reset()
+        assert sniffer.total_payload_bytes == 0
+
+    def test_disabled_overhead_payload_equals_wire(self):
+        sniffer = Sniffer(overhead=ProtocolOverheadModel(enabled=False))
+        sniffer.observe(response_message(5000))
+        assert sniffer.response_wire_bytes == sniffer.response_payload_bytes == 5000

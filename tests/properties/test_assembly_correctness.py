@@ -1,0 +1,93 @@
+"""Property: DPC-assembled pages byte-equal the uncached oracle
+(invariant 1 — the paper's central correctness claim), under arbitrary
+request interleavings, users, and data churn."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books
+from repro.sites.synthetic import SyntheticParams, build_server as build_synth
+from repro.sites.synthetic import build_services as build_synth_services
+from repro.sites.synthetic import touch_fragment
+
+# ---------------------------------------------------------------------------
+# Synthetic site: requests interleaved with source-data updates.
+# ---------------------------------------------------------------------------
+
+synthetic_events = st.lists(
+    st.one_of(
+        st.tuples(st.just("request"), st.integers(0, 9)),
+        st.tuples(st.just("touch"), st.integers(0, 39)),
+        st.tuples(st.just("tick"), st.floats(0.1, 30.0)),
+    ),
+    max_size=40,
+)
+
+
+@given(synthetic_events)
+@settings(max_examples=60, deadline=None)
+def test_synthetic_assembly_always_correct(events):
+    params = SyntheticParams(fragment_size=64)
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=64, clock=clock)
+    services = build_synth_services(params)
+    server = build_synth(params, services=services, clock=clock, bem=bem,
+                         cost_model=FREE)
+    bem.attach_database(services.db.bus)
+    dpc = DynamicProxyCache(capacity=64)
+
+    for kind, value in events:
+        if kind == "request":
+            request = HttpRequest("/page.jsp", {"pageID": str(value)})
+            oracle = server.render_reference_page(request)
+            page = dpc.process_response(server.handle(request).body)
+            assert page.html == oracle
+        elif kind == "touch":
+            touch_fragment(services, value)
+        else:
+            clock.advance(value)
+
+
+# ---------------------------------------------------------------------------
+# BooksOnline: users with different identities and layouts.
+# ---------------------------------------------------------------------------
+
+book_requests = st.lists(
+    st.tuples(
+        st.sampled_from(["/catalog.jsp", "/home.jsp", "/product.jsp"]),
+        st.sampled_from(["Fiction", "Science", "History"]),
+        st.sampled_from([None, "user000", "user001", "user002"]),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@given(book_requests)
+@settings(max_examples=30, deadline=None)
+def test_books_assembly_correct_across_users(specs):
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=256, clock=clock)
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=256)
+
+    for path, category, user in specs:
+        if path == "/product.jsp":
+            params = {"productID": "FIC-000"}
+        elif path == "/catalog.jsp":
+            params = {"categoryID": category}
+        else:
+            params = {}
+        request = HttpRequest(
+            path, params, user_id=user,
+            session_id="sess-%s" % (user or "anon"),
+        )
+        oracle = server.render_reference_page(request)
+        page = dpc.process_response(server.handle(request).body)
+        assert page.html == oracle

@@ -1,0 +1,74 @@
+"""Properties of the Section 5 closed-form model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    bytes_ratio,
+    expected_bytes_cached,
+    expected_bytes_no_cache,
+    response_size_cached,
+    response_size_no_cache,
+)
+from repro.analysis.params import AnalysisParams
+from repro.analysis.scancost import firewall_savings_percent, result1_holds
+
+params_strategy = st.builds(
+    AnalysisParams,
+    hit_ratio=st.floats(0.0, 1.0),
+    # A real page carries at least one content byte; the all-zero-size
+    # configuration makes B_NC = 0 and every ratio undefined.
+    fragment_size=st.floats(1.0, 100_000.0),
+    fragments_per_page=st.integers(1, 20),
+    num_pages=st.integers(1, 50),
+    header_bytes=st.floats(0.0, 5_000.0),
+    tag_size=st.floats(0.0, 100.0),
+    cacheability=st.floats(0.0, 1.0),
+    requests=st.integers(1, 10_000_000),
+    zipf_alpha=st.floats(0.0, 3.0),
+)
+
+
+@given(params_strategy)
+@settings(max_examples=300)
+def test_sizes_are_non_negative(params):
+    assert response_size_no_cache(params) >= 0
+    assert response_size_cached(params) >= 0
+    assert expected_bytes_no_cache(params) >= 0
+    assert expected_bytes_cached(params) >= 0
+
+
+@given(params_strategy)
+def test_expected_bytes_scale_with_requests(params):
+    doubled = params.with_(requests=params.requests * 2)
+    assert expected_bytes_no_cache(doubled) == (
+        2 * expected_bytes_no_cache(params)
+    ) or abs(
+        expected_bytes_no_cache(doubled) - 2 * expected_bytes_no_cache(params)
+    ) < 1e-6 * expected_bytes_no_cache(doubled)
+
+
+@given(params_strategy)
+def test_savings_monotone_in_hit_ratio(params):
+    """More hits can never mean more bytes."""
+    low = params.with_(hit_ratio=max(0.0, params.hit_ratio - 0.1))
+    high = params.with_(hit_ratio=min(1.0, params.hit_ratio + 0.1))
+    assert response_size_cached(high) <= response_size_cached(low) + 1e-9
+
+
+@given(params_strategy)
+def test_zero_cacheability_means_identical_sizes(params):
+    frozen = params.with_(cacheability=0.0)
+    assert response_size_cached(frozen) == response_size_no_cache(frozen)
+
+
+@given(params_strategy)
+def test_result1_iff_positive_firewall_savings(params):
+    assert result1_holds(params) == (firewall_savings_percent(params) > 0)
+
+
+@given(params_strategy)
+def test_ratio_definition(params):
+    ratio = bytes_ratio(params)
+    reconstructed = expected_bytes_cached(params) / expected_bytes_no_cache(params)
+    assert abs(ratio - reconstructed) < 1e-12

@@ -1,0 +1,82 @@
+"""Fuzz property: the SQL layer fails *predictably* on arbitrary input.
+
+Any string fed to ``parse`` either yields a statement or raises
+``SqlSyntaxError`` — never an uncaught exception — and any parsed SELECT
+executes against a live table without internal errors (schema violations
+raise the schema/query error types).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Database, schema
+from repro.database.sql import parse
+from repro.errors import ReproError, SqlSyntaxError
+
+arbitrary_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " '\"(),*?<>=!%_.;-",
+    max_size=80,
+)
+
+# Structured garbage: shuffled fragments of real SQL.
+sql_shards = st.lists(
+    st.sampled_from([
+        "SELECT", "*", "FROM", "items", "WHERE", "k", "=", "'x'", "AND",
+        "price", ">", "5", "ORDER", "BY", "LIMIT", "3", "GROUP",
+        "COUNT", "(", ")", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+        "DELETE", "?", ",", "NULL", "LIKE", "'a%'",
+    ]),
+    max_size=14,
+).map(" ".join)
+
+
+def make_db():
+    db = Database()
+    table = db.create_table(
+        schema("items", [("k", "str"), ("price", "float")])
+    )
+    table.insert({"k": "x", "price": 5.0})
+    table.insert({"k": "y", "price": 7.5})
+    return db
+
+
+@given(arbitrary_text)
+@settings(max_examples=400)
+def test_parse_never_raises_unexpected(text):
+    try:
+        parse(text)
+    except SqlSyntaxError:
+        pass  # the contract for bad input
+
+
+@given(sql_shards)
+@settings(max_examples=400)
+def test_shuffled_sql_parses_or_rejects_cleanly(text):
+    try:
+        parse(text)
+    except SqlSyntaxError:
+        pass
+
+
+@given(sql_shards)
+@settings(max_examples=200)
+def test_execution_raises_only_library_errors(text):
+    db = make_db()
+    try:
+        db.execute(text)
+    except ReproError:
+        pass  # syntax, schema, or query errors are all acceptable
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+       st.text(alphabet=string.printable, max_size=30))
+def test_parameter_values_round_trip(price, key):
+    """Arbitrary parameter values bind without mangling."""
+    db = make_db()
+    db.execute("INSERT INTO items (k, price) VALUES (?, ?)",
+               ("probe-" + key, float(price)))
+    rows = db.execute("SELECT price FROM items WHERE k = ?",
+                      ("probe-" + key,)).rows
+    assert rows[0]["price"] == float(price)

@@ -1,0 +1,82 @@
+"""Properties of the SQL layer: parse/execute consistency on random data."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Database, schema
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+prices = st.floats(min_value=0, max_value=1000, allow_nan=False,
+                   allow_infinity=False)
+
+rows = st.lists(
+    st.tuples(names, st.sampled_from(["books", "toys", "games"]), prices),
+    max_size=25,
+)
+
+
+def build_db(data):
+    db = Database()
+    table = db.create_table(
+        schema("items", [("k", "str"), ("cat", "str"), ("price", "float")])
+    )
+    table.create_index("cat")
+    seen = set()
+    stored = []
+    for key, cat, price in data:
+        if key in seen:
+            continue
+        seen.add(key)
+        table.insert({"k": key, "cat": cat, "price": price})
+        stored.append((key, cat, price))
+    return db, stored
+
+
+@given(rows, st.sampled_from(["books", "toys", "games"]))
+@settings(max_examples=150)
+def test_indexed_select_matches_python_filter(data, category):
+    db, stored = build_db(data)
+    result = db.execute("SELECT k FROM items WHERE cat = ?", (category,))
+    expected = sorted(key for key, cat, _ in stored if cat == category)
+    assert sorted(row["k"] for row in result.rows) == expected
+
+
+@given(rows, prices)
+def test_range_select_matches_python_filter(data, threshold):
+    db, stored = build_db(data)
+    result = db.execute("SELECT k FROM items WHERE price >= ?", (threshold,))
+    expected = sorted(key for key, _, price in stored if price >= threshold)
+    assert sorted(row["k"] for row in result.rows) == expected
+
+
+@given(rows)
+def test_order_by_is_sorted(data):
+    db, stored = build_db(data)
+    result = db.execute("SELECT price FROM items ORDER BY price")
+    values = [row["price"] for row in result.rows]
+    assert values == sorted(values)
+
+
+@given(rows, st.integers(0, 5))
+def test_limit_truncates(data, limit):
+    db, stored = build_db(data)
+    result = db.execute("SELECT * FROM items LIMIT ?" .replace("?", str(limit)))
+    assert result.rowcount == min(limit, len(stored))
+
+
+@given(rows, st.sampled_from(["books", "toys", "games"]))
+def test_delete_then_select_empty(data, category):
+    db, stored = build_db(data)
+    db.execute("DELETE FROM items WHERE cat = ?", (category,))
+    result = db.execute("SELECT * FROM items WHERE cat = ?", (category,))
+    assert result.rowcount == 0
+
+
+@given(rows)
+def test_update_reaches_every_row(data):
+    db, stored = build_db(data)
+    db.execute("UPDATE items SET price = 1.5")
+    result = db.execute("SELECT price FROM items")
+    assert all(row["price"] == 1.5 for row in result.rows)

@@ -1,0 +1,98 @@
+"""Property: template serialize -> parse is the identity (invariant 3)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.template import (
+    GetInstruction,
+    Literal,
+    SetInstruction,
+    Template,
+    TemplateConfig,
+    parse_template,
+)
+
+# Text strategies deliberately include the sentinel characters '<' and '~'
+# so escaping gets exercised hard.
+text = st.text(
+    alphabet=string.ascii_letters + string.digits + "<>~:QSEG \n",
+    max_size=80,
+)
+keys = st.integers(min_value=0, max_value=9999)
+
+instructions = st.one_of(
+    text.map(Literal),
+    keys.map(GetInstruction),
+    st.tuples(keys, text).map(lambda kv: SetInstruction(*kv)),
+)
+
+
+@given(st.lists(instructions, max_size=20))
+@settings(max_examples=300)
+def test_roundtrip_identity(instruction_list):
+    template = Template(instruction_list)
+    parsed = parse_template(template.serialize())
+    assert parsed == template.normalized()
+
+
+@given(st.lists(instructions, max_size=20))
+def test_serialization_deterministic(instruction_list):
+    template = Template(instruction_list)
+    assert template.serialize() == template.serialize()
+
+
+@given(text)
+def test_pure_literal_roundtrip(content):
+    template = Template().literal(content)
+    parsed = parse_template(template.serialize())
+    if content:
+        assert parsed.instructions == [Literal(content)]
+    else:
+        assert parsed.instructions == []
+
+
+@given(keys, text)
+def test_set_content_preserved_exactly(key, content):
+    parsed = parse_template(Template().set(key, content).serialize())
+    assert parsed.instructions == [SetInstruction(key, content)]
+
+
+@given(st.lists(instructions, max_size=20), st.integers(2, 6))
+def test_roundtrip_under_any_key_width(instruction_list, width):
+    config = TemplateConfig(key_width=width)
+    clipped = []
+    for instruction in instruction_list:
+        if isinstance(instruction, GetInstruction):
+            clipped.append(GetInstruction(instruction.key % (10 ** width)))
+        elif isinstance(instruction, SetInstruction):
+            clipped.append(
+                SetInstruction(instruction.key % (10 ** width), instruction.content)
+            )
+        else:
+            clipped.append(instruction)
+    template = Template(clipped, config)
+    assert parse_template(template.serialize(), config) == template.normalized()
+
+
+@given(st.lists(instructions, max_size=15))
+def test_wire_bytes_accounting(instruction_list):
+    """GET costs exactly g; SET costs content + 2g; literals cost their
+    escaped length.  Total wire bytes must equal the sum of parts."""
+    config = TemplateConfig()
+    template = Template(instruction_list, config).normalized()
+    expected = 0
+    for instruction in template.instructions:
+        if isinstance(instruction, Literal):
+            expected += len(
+                instruction.text.replace("<~", "<~Q~>").encode("utf-8")
+            )
+        elif isinstance(instruction, GetInstruction):
+            expected += config.tag_size
+        else:
+            expected += (
+                len(instruction.content.replace("<~", "<~Q~>").encode("utf-8"))
+                + 2 * config.tag_size
+            )
+    assert template.wire_bytes() == expected

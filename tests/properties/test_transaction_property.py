@@ -1,0 +1,105 @@
+"""Property: rollback restores exactly the pre-transaction state, and
+commit delivers exactly the events autocommit would have."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Database, schema
+
+keys = st.integers(0, 9)
+values = st.integers(-100, 100)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, values),
+        st.tuples(st.just("update"), keys, values),
+        st.tuples(st.just("delete"), keys, values),
+    ),
+    max_size=25,
+)
+
+
+def fresh_db():
+    db = Database()
+    table = db.create_table(schema("t", [("k", "int"), ("v", "int")]))
+    table.create_index("v")
+    for k in range(5):
+        table.insert({"k": k, "v": k * 10})
+    return db
+
+
+def apply_ops(db, ops):
+    table = db.table("t")
+    for op, key, value in ops:
+        if op == "insert":
+            if key not in table:
+                table.insert({"k": key, "v": value})
+        elif op == "update":
+            table.update({"v": value}, key=key)
+        else:
+            table.delete(key=key)
+
+
+def snapshot(db):
+    table = db.table("t")
+    return sorted((row["k"], row["v"]) for row in table.scan())
+
+
+def index_view(db, value):
+    return sorted(row["k"] for row in db.table("t").lookup("v", value))
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_rollback_restores_state(ops):
+    db = fresh_db()
+    before = snapshot(db)
+    db.begin()
+    apply_ops(db, ops)
+    db.rollback()
+    assert snapshot(db) == before
+
+
+@given(operations, values)
+def test_rollback_restores_indexes(ops, probe):
+    db = fresh_db()
+    before = index_view(db, probe)
+    db.begin()
+    apply_ops(db, ops)
+    db.rollback()
+    assert index_view(db, probe) == before
+
+
+@given(operations)
+@settings(max_examples=150)
+def test_commit_delivers_autocommit_events(ops):
+    committed_events = []
+    db1 = fresh_db()
+    db1.bus.subscribe(
+        lambda e: committed_events.append((e.table, e.operation, e.key))
+    )
+    db1.begin()
+    apply_ops(db1, ops)
+    db1.commit()
+
+    autocommit_events = []
+    db2 = fresh_db()
+    db2.bus.subscribe(
+        lambda e: autocommit_events.append((e.table, e.operation, e.key))
+    )
+    apply_ops(db2, ops)
+
+    assert committed_events == autocommit_events
+    assert snapshot(db1) == snapshot(db2)
+
+
+@given(operations)
+def test_no_events_escape_before_commit(ops):
+    db = fresh_db()
+    leaked = []
+    db.bus.subscribe(leaked.append)
+    db.begin()
+    apply_ops(db, ops)
+    assert leaked == []
+    db.rollback()
+    assert leaked == []

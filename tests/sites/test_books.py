@@ -1,0 +1,187 @@
+"""Tests for the BooksOnline reference site."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books
+
+
+@pytest.fixture(scope="module")
+def plain_server():
+    return books.build_server(cost_model=FREE)
+
+
+def dpc_stack():
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=512, clock=clock)
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=512)
+    return server, bem, dpc
+
+
+class TestPlainServing:
+    def test_catalog_page_renders(self, plain_server):
+        response = plain_server.handle(
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"})
+        )
+        assert "Fiction | BooksOnline" in response.body
+        assert 'data-category="Fiction"' in response.body
+
+    def test_registered_user_gets_greeting(self, plain_server):
+        response = plain_server.handle(
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                        user_id="user000", session_id="s-bob")
+        )
+        assert "Hello, User 000" in response.body
+
+    def test_anonymous_user_gets_no_greeting(self, plain_server):
+        response = plain_server.handle(
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                        session_id="s-anon")
+        )
+        assert "Hello," not in response.body
+
+    def test_same_url_different_pages(self, plain_server):
+        """§2.1: identical URL, different users, different pages."""
+        bob = plain_server.handle(
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                        user_id="user001", session_id="s1")
+        )
+        alice = plain_server.handle(
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                        session_id="s2")
+        )
+        assert bob.meta["url"] == alice.meta["url"]
+        assert bob.body != alice.body
+
+    def test_product_page(self, plain_server):
+        response = plain_server.handle(
+            HttpRequest("/product.jsp", {"productID": "FIC-000"})
+        )
+        assert '<article class="product">' in response.body
+        assert "blockquote" in response.body
+
+    def test_home_page(self, plain_server):
+        response = plain_server.handle(HttpRequest("/home.jsp"))
+        assert "<nav>" in response.body
+
+
+class TestLayoutDynamism:
+    def test_profile_layout_changes_page_structure(self):
+        server = books.build_server(cost_model=FREE)
+        services = server.services
+        services.profiles.set_layout(
+            "user002",
+            ["main", "navigation", "greeting", "recommendations", "promos"],
+        )
+        page = server.handle(
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                        user_id="user002", session_id="s")
+        ).body
+        # main listing appears before the navbar for this user.
+        assert page.index('class="listing"') < page.index("<nav>")
+
+
+class TestDpcServing:
+    def test_assembled_equals_oracle_for_many_users(self):
+        server, bem, dpc = dpc_stack()
+        requests = [
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                        user_id="user000", session_id="s0"),
+            HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                        session_id="anon1"),
+            HttpRequest("/catalog.jsp", {"categoryID": "Science"},
+                        user_id="user003", session_id="s3"),
+            HttpRequest("/product.jsp", {"productID": "FIC-001"},
+                        user_id="user000", session_id="s0"),
+            HttpRequest("/home.jsp", user_id="user005", session_id="s5"),
+        ]
+        for _ in range(2):  # cold then warm
+            for request in requests:
+                oracle = server.render_reference_page(request)
+                page = dpc.process_response(server.handle(request).body)
+                assert page.html == oracle
+
+    def test_warm_responses_shrink(self):
+        server, bem, dpc = dpc_stack()
+        request = HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                              session_id="anon")
+        cold = server.handle(request)
+        dpc.process_response(cold.body)
+        warm = server.handle(request)
+        assert warm.body_bytes < cold.body_bytes / 2
+
+    def test_shared_fragments_across_users(self):
+        """The navbar is one fragment shared by everyone."""
+        server, bem, dpc = dpc_stack()
+        dpc.process_response(
+            server.handle(HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                                      session_id="a")).body
+        )
+        misses_before = bem.stats.fragment_misses
+        dpc.process_response(
+            server.handle(HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                                      user_id="user000", session_id="b")).body
+        )
+        # Second user misses only their personal fragments, not navbar/listing.
+        personal_misses = bem.stats.fragment_misses - misses_before
+        assert personal_misses <= 3
+
+    def test_price_update_invalidates_listing_only(self):
+        server, bem, dpc = dpc_stack()
+        fiction = HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                              session_id="a")
+        science = HttpRequest("/catalog.jsp", {"categoryID": "Science"},
+                              session_id="a")
+        dpc.process_response(server.handle(fiction).body)
+        dpc.process_response(server.handle(science).body)
+
+        server.services.db.table("products").update(
+            {"price": 1.99}, key="FIC-000"
+        )
+        warm_science = server.handle(science)
+        assert warm_science.meta["misses"] == 0  # untouched category
+        warm_fiction = server.handle(fiction)
+        assert warm_fiction.meta["misses"] >= 1  # listing regenerated
+        page = dpc.process_response(warm_fiction.body)
+        assert "$1.99" in page.html
+
+    def test_profile_edit_invalidates_user_fragments(self):
+        server, bem, dpc = dpc_stack()
+        request = HttpRequest("/catalog.jsp", {"categoryID": "Fiction"},
+                              user_id="user000", session_id="s")
+        dpc.process_response(server.handle(request).body)
+        bem.objects.clear()  # drop the memoized profile object too
+        server.services.profiles.set_preferences("user000", ["History"])
+        response = server.handle(request)
+        assert response.meta["misses"] >= 1
+        page = dpc.process_response(response.body)
+        assert page.html == server.render_reference_page(request)
+
+
+class TestSeeding:
+    def test_deterministic_with_seed(self):
+        a = books.build_services(seed=3)
+        b = books.build_services(seed=3)
+        assert (
+            a.db.table("products").get("FIC-000")["title"]
+            == b.db.table("products").get("FIC-000")["title"]
+        )
+
+    def test_catalog_sizes(self):
+        services = books.build_services(products_per_category=5,
+                                        reviews_per_product=3)
+        assert len(services.db.table("products")) == 5 * len(books.DEFAULT_CATEGORIES)
+        assert len(services.db.table("reviews")) == 15 * len(books.DEFAULT_CATEGORIES)
+
+    def test_tagging_pass_registered_blocks(self):
+        services = books.build_services()
+        for name in ("navbar", "greeting", "category_listing",
+                     "recommendations", "promos", "product_detail"):
+            assert name in services.tags
+        assert "cart_status" not in services.tags

@@ -1,0 +1,120 @@
+"""Tests for the financial portal site."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import financial
+
+
+def dpc_stack():
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=512, clock=clock)
+    server = financial.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=512)
+    return server, bem, dpc, clock
+
+
+class TestQuotePage:
+    def test_renders_three_content_classes(self):
+        server = financial.build_server(cost_model=FREE)
+        body = server.handle(HttpRequest("/quote.jsp", {"symbol": "ACME"})).body
+        assert 'class="quote"' in body
+        assert 'class="headlines"' in body
+        assert 'class="history"' in body
+
+    def test_quote_ttl_expires_but_history_survives(self):
+        server, bem, dpc, clock = dpc_stack()
+        request = HttpRequest("/quote.jsp", {"symbol": "ACME"}, session_id="s")
+        dpc.process_response(server.handle(request).body)
+        clock.advance(financial.QUOTE_TTL_S + 1.0)
+        warm = server.handle(request)
+        # Exactly the quote fragment regenerated; headlines/history cached.
+        assert warm.meta["misses"] == 1
+        assert warm.meta["hits"] >= 2
+
+    def test_market_tick_invalidates_one_symbol(self):
+        server, bem, dpc, clock = dpc_stack()
+        acme = HttpRequest("/quote.jsp", {"symbol": "ACME"}, session_id="s")
+        globex = HttpRequest("/quote.jsp", {"symbol": "GLOBEX"}, session_id="s")
+        dpc.process_response(server.handle(acme).body)
+        dpc.process_response(server.handle(globex).body)
+
+        financial.tick_quote(server.services, "ACME", 123.45, clock.now())
+
+        warm_globex = server.handle(globex)
+        assert warm_globex.meta["misses"] == 0
+        warm_acme = server.handle(acme)
+        assert warm_acme.meta["misses"] == 1
+        page = dpc.process_response(warm_acme.body)
+        assert "123.45" in page.html
+
+    def test_assembly_matches_oracle(self):
+        server, bem, dpc, clock = dpc_stack()
+        request = HttpRequest("/quote.jsp", {"symbol": "STARK"},
+                              user_id="trader000", session_id="t0")
+        for _ in range(3):
+            oracle = server.render_reference_page(request)
+            page = dpc.process_response(server.handle(request).body)
+            assert page.html == oracle
+
+
+class TestPortfolioPage:
+    def test_personalized_but_sharing_quotes(self):
+        """Two traders watching overlapping symbols share quote fragments."""
+        server, bem, dpc, clock = dpc_stack()
+        accounts = server.services.db.table(financial.ACCOUNTS_TABLE)
+        accounts.update({"watchlist": "ACME,GLOBEX"}, key="trader000")
+        accounts.update({"watchlist": "ACME,STARK"}, key="trader001")
+
+        r0 = HttpRequest("/portfolio.jsp", user_id="trader000", session_id="t0")
+        r1 = HttpRequest("/portfolio.jsp", user_id="trader001", session_id="t1")
+        dpc.process_response(server.handle(r0).body)
+        response = server.handle(r1)
+        # trader001 hits: ACME quote + market headlines (shared).
+        assert response.meta["hits"] >= 2
+        page = dpc.process_response(response.body)
+        assert page.html == server.render_reference_page(r1)
+
+    def test_anonymous_portfolio_is_sparse(self):
+        server = financial.build_server(cost_model=FREE)
+        body = server.handle(HttpRequest("/portfolio.jsp", session_id="x")).body
+        assert 'class="account"' not in body
+        assert 'class="watchlist"' not in body.replace("headlines", "")
+
+    def test_account_update_invalidates_summary(self):
+        server, bem, dpc, clock = dpc_stack()
+        request = HttpRequest("/portfolio.jsp", user_id="trader002",
+                              session_id="t2")
+        dpc.process_response(server.handle(request).body)
+        bem.objects.clear()  # the memoized account object would mask the change
+        server.services.db.table(financial.ACCOUNTS_TABLE).update(
+            {"balance": 42.0}, key="trader002"
+        )
+        response = server.handle(request)
+        assert response.meta["misses"] >= 1
+        page = dpc.process_response(response.body)
+        assert "Balance: $42.00" in page.html
+
+
+class TestSeeding:
+    def test_symbols_seeded(self):
+        services = financial.build_services()
+        for symbol in financial.DEFAULT_SYMBOLS:
+            assert services.db.table(financial.QUOTES_TABLE).get(symbol)
+            assert services.db.table(financial.HISTORY_TABLE).get(symbol)
+
+    def test_ttl_classes_tagged(self):
+        services = financial.build_services()
+        assert services.tags.lookup("price_quote").ttl == financial.QUOTE_TTL_S
+        assert services.tags.lookup("headlines").ttl == financial.HEADLINES_TTL_S
+        assert services.tags.lookup("historical").ttl == financial.HISTORY_TTL_S
+
+    def test_tick_unknown_symbol_is_noop_update(self):
+        services = financial.build_services()
+        financial.tick_quote(services, "NOPE", 1.0, 0.0)  # 0 rows updated
+        assert services.db.table(financial.QUOTES_TABLE).get("NOPE") is None

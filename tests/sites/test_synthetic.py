@@ -1,0 +1,115 @@
+"""Tests for the synthetic Table 2 application."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.errors import ConfigurationError
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites.synthetic import (
+    SyntheticParams,
+    build_server,
+    build_services,
+    fragment_content,
+    touch_fragment,
+)
+
+
+class TestSyntheticParams:
+    def test_default_pool_is_pages_times_fragments(self):
+        assert SyntheticParams().effective_pool_size == 40
+
+    def test_page_composition(self):
+        params = SyntheticParams()
+        assert params.pool_indexes_for_page(0) == [0, 1, 2, 3]
+        assert params.pool_indexes_for_page(9) == [36, 37, 38, 39]
+
+    def test_shared_pool_wraps(self):
+        params = SyntheticParams(pool_size=6)
+        assert params.pool_indexes_for_page(1) == [4, 5, 0, 1]
+
+    def test_page_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticParams().pool_indexes_for_page(10)
+
+    def test_cacheable_count_matches_factor(self):
+        params = SyntheticParams(cacheability=0.6)
+        assert params.cacheable_count() == 24  # floor(40 * 0.6)
+
+    def test_cacheability_extremes(self):
+        assert SyntheticParams(cacheability=1.0).cacheable_count() == 40
+        assert SyntheticParams(cacheability=0.0).cacheable_count() == 0
+
+    def test_cacheable_pattern_is_spread(self):
+        params = SyntheticParams(cacheability=0.5)
+        flags = [params.is_cacheable(k) for k in range(8)]
+        assert flags.count(True) == 4
+        assert flags != [True] * 4 + [False] * 4  # interleaved, not blocked
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticParams(num_pages=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticParams(cacheability=1.5)
+
+
+class TestFragmentContent:
+    def test_exact_size(self):
+        for size in (1, 10, 16, 100, 1024, 5000):
+            assert len(fragment_content(3, 7, size)) == size
+
+    def test_version_changes_content(self):
+        assert fragment_content(1, 0, 100) != fragment_content(1, 1, 100)
+
+    def test_no_sentinel_in_content(self):
+        assert "<~" not in fragment_content(5, 123, 5000)
+
+    def test_ascii_sizes_are_byte_sizes(self):
+        content = fragment_content(1, 2, 2048)
+        assert len(content.encode("utf-8")) == 2048
+
+
+class TestSyntheticServing:
+    def test_page_body_is_exact_fragment_sum(self):
+        params = SyntheticParams(fragment_size=256)
+        server = build_server(params, cost_model=FREE)
+        response = server.handle(HttpRequest("/page.jsp", {"pageID": "2"}))
+        assert response.body_bytes == 4 * 256
+
+    def test_cacheable_and_noncacheable_split(self):
+        params = SyntheticParams(cacheability=0.5)
+        clock = SimulatedClock()
+        bem = BackEndMonitor(capacity=64, clock=clock)
+        server = build_server(params, clock=clock, bem=bem, cost_model=FREE)
+        response = server.handle(HttpRequest("/page.jsp", {"pageID": "0"}))
+        assert response.meta["set_count"] == 2  # half the page is cacheable
+
+    def test_touch_fragment_bumps_version(self):
+        params = SyntheticParams()
+        services = build_services(params)
+        touch_fragment(services, 5)
+        assert services.db.table("synthetic_data").get(5)["version"] == 1
+
+    def test_touch_unknown_fragment(self):
+        services = build_services(SyntheticParams())
+        with pytest.raises(ConfigurationError):
+            touch_fragment(services, 999)
+
+    def test_touch_invalidates_through_trigger(self):
+        params = SyntheticParams(cacheability=1.0)
+        clock = SimulatedClock()
+        bem = BackEndMonitor(capacity=64, clock=clock)
+        services = build_services(params)
+        server = build_server(params, services=services, clock=clock, bem=bem,
+                              cost_model=FREE)
+        bem.attach_database(services.db.bus)
+        request = HttpRequest("/page.jsp", {"pageID": "0"})
+        server.handle(request)
+        server.handle(request)
+        assert bem.stats.fragment_hits == 4  # warm
+
+        touch_fragment(services, 0)
+        response = server.handle(request)
+        assert response.meta["misses"] == 1
+        assert response.meta["hits"] == 3

@@ -1,0 +1,82 @@
+"""Quality gate: every public item in the library carries a docstring.
+
+"Documentation on every public item" is a deliverable, so it is enforced,
+not aspired to.  Public = importable from a ``repro`` module and not
+underscore-prefixed; dataclass-generated plumbing and inherited members
+are exempt.
+"""
+
+import inspect
+import pkgutil
+import importlib
+
+import pytest
+
+import repro
+
+EXEMPT_MEMBER_NAMES = {
+    # dataclass/enum plumbing and dunder-ish generated members
+    "__init__", "__repr__", "__eq__", "__hash__", "__post_init__",
+}
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(member):
+            continue
+        # Only report items defined in this package (not re-imports of
+        # stdlib objects etc.).
+        defined_in = getattr(member, "__module__", None)
+        if defined_in is None or not str(defined_in).startswith("repro"):
+            continue
+        if defined_in != module.__name__:
+            continue  # avoid double-reporting re-exports
+        yield name, member
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in iter_modules() if not inspect.getdoc(m)]
+    assert missing == [], "modules without docstrings: %s" % missing
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    missing = []
+    for module in iter_modules():
+        for name, member in public_members(module):
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if not inspect.getdoc(member):
+                    missing.append("%s.%s" % (module.__name__, name))
+    assert missing == [], "undocumented public items: %s" % missing
+
+
+def test_public_methods_have_docstrings():
+    """Methods defined directly on public classes must be documented
+    (inherited and generated members are exempt)."""
+    missing = []
+    for module in iter_modules():
+        for class_name, klass in public_members(module):
+            if not inspect.isclass(klass):
+                continue
+            for name, member in vars(klass).items():
+                if name.startswith("_") or name in EXEMPT_MEMBER_NAMES:
+                    continue
+                func = None
+                if inspect.isfunction(member):
+                    func = member
+                elif isinstance(member, property):
+                    func = member.fget
+                elif isinstance(member, (classmethod, staticmethod)):
+                    func = member.__func__
+                if func is not None and not inspect.getdoc(func):
+                    missing.append(
+                        "%s.%s.%s" % (module.__name__, class_name, name)
+                    )
+    assert missing == [], "undocumented public methods: %s" % missing

@@ -1,0 +1,68 @@
+"""Tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import (
+    BurstyProcess,
+    DeterministicProcess,
+    PoissonProcess,
+)
+
+
+class TestDeterministicProcess:
+    def test_even_spacing(self):
+        process = DeterministicProcess(rate=10.0)
+        times = list(process.arrival_times(random.Random(1), 5))
+        assert times == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicProcess(rate=0)
+
+
+class TestPoissonProcess:
+    def test_mean_rate_converges(self):
+        process = PoissonProcess(rate=50.0)
+        times = list(process.arrival_times(random.Random(3), 5000))
+        observed_rate = len(times) / times[-1]
+        assert observed_rate == pytest.approx(50.0, rel=0.1)
+
+    def test_gaps_positive(self):
+        process = PoissonProcess(rate=5.0)
+        rng = random.Random(1)
+        gaps = [gap for gap, _ in zip(process.gaps(rng), range(100))]
+        assert all(gap > 0 for gap in gaps)
+
+    def test_reproducible_with_seed(self):
+        process = PoissonProcess(rate=5.0)
+        a = list(process.arrival_times(random.Random(9), 20))
+        b = list(process.arrival_times(random.Random(9), 20))
+        assert a == b
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=-1)
+
+
+class TestBurstyProcess:
+    def test_produces_requested_count(self):
+        process = BurstyProcess(burst_rate=100.0, idle_gap=1.0, burst_length=5.0)
+        times = list(process.arrival_times(random.Random(2), 200))
+        assert len(times) == 200
+        assert times == sorted(times)
+
+    def test_bursts_have_idle_gaps(self):
+        process = BurstyProcess(burst_rate=1000.0, idle_gap=10.0, burst_length=4.0)
+        times = list(process.arrival_times(random.Random(4), 100))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert max(gaps) >= 10.0       # idle separators exist
+        assert min(gaps) < 0.1          # burst interior is dense
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BurstyProcess(burst_rate=0, idle_gap=1.0)
+        with pytest.raises(ConfigurationError):
+            BurstyProcess(burst_rate=1.0, idle_gap=1.0, burst_length=0.5)

@@ -1,0 +1,80 @@
+"""Tests for the workload generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.generator import (
+    PageSpec,
+    WorkloadGenerator,
+    synthetic_pages,
+)
+from repro.workload.users import UserPopulation
+
+
+class TestPageSpec:
+    def test_create_sorts_params(self):
+        spec = PageSpec.create("/x", {"b": "2", "a": "1"})
+        assert spec.params == (("a", "1"), ("b", "2"))
+
+    def test_to_request(self):
+        from repro.workload.users import Visitor
+
+        spec = PageSpec.create("/catalog.jsp", {"categoryID": "Fiction"})
+        request = spec.to_request(Visitor(user_id="bob", session_id="s1"))
+        assert request.url == "/catalog.jsp?categoryID=Fiction"
+        assert request.user_id == "bob"
+
+    def test_synthetic_pages(self):
+        pages = synthetic_pages(3)
+        assert [p.params[0][1] for p in pages] == ["0", "1", "2"]
+
+
+class TestWorkloadGenerator:
+    def test_reproducible_streams(self):
+        generator = WorkloadGenerator(pages=synthetic_pages(5), seed=9)
+        first = [(t.at, t.request.url) for t in generator.stream(50)]
+        second = [(t.at, t.request.url) for t in generator.stream(50)]
+        assert first == second
+
+    def test_count_respected(self):
+        generator = WorkloadGenerator(pages=synthetic_pages(5))
+        assert len(generator.materialize(123)) == 123
+
+    def test_arrival_times_monotone(self):
+        generator = WorkloadGenerator(pages=synthetic_pages(5))
+        times = [t.at for t in generator.stream(100)]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_zipf_page_skew(self):
+        generator = WorkloadGenerator(pages=synthetic_pages(10), page_alpha=1.0,
+                                      seed=3)
+        counts = generator.empirical_page_counts(5000)
+        hottest = counts["/page.jsp?pageID=0"]
+        coldest = counts.get("/page.jsp?pageID=9", 0)
+        assert hottest > coldest * 3
+
+    def test_uniform_with_alpha_zero(self):
+        generator = WorkloadGenerator(pages=synthetic_pages(4), page_alpha=0.0,
+                                      seed=3)
+        counts = generator.empirical_page_counts(8000)
+        for count in counts.values():
+            assert count == pytest.approx(2000, rel=0.15)
+
+    def test_population_identities_flow_through(self):
+        population = UserPopulation(["bob", "carol"], registered_fraction=1.0)
+        generator = WorkloadGenerator(
+            pages=synthetic_pages(2), population=population, seed=1
+        )
+        users = {t.request.user_id for t in generator.stream(100)}
+        assert users <= {"bob", "carol"}
+        assert users  # non-empty
+
+    def test_requires_pages(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(pages=[])
+
+    def test_page_rank_recorded(self):
+        generator = WorkloadGenerator(pages=synthetic_pages(5))
+        for timed in generator.stream(20):
+            assert 1 <= timed.page_rank <= 5

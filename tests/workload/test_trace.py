@@ -1,0 +1,80 @@
+"""Tests for workload trace export/replay."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import WorkloadGenerator, synthetic_pages
+from repro.workload.trace import dump, from_records, load, to_records
+
+
+@pytest.fixture
+def trace():
+    generator = WorkloadGenerator(pages=synthetic_pages(5), seed=8)
+    return generator.materialize(30)
+
+
+class TestRoundTrip:
+    def test_records_roundtrip(self, trace):
+        rebuilt = from_records(to_records(trace))
+        assert len(rebuilt) == len(trace)
+        for a, b in zip(trace, rebuilt):
+            assert a.at == b.at
+            assert a.request.url == b.request.url
+            assert a.request.user_id == b.request.user_id
+            assert a.request.session_id == b.request.session_id
+            assert a.page_rank == b.page_rank
+
+    def test_jsonl_roundtrip(self, trace):
+        buffer = io.StringIO()
+        dump(trace, buffer)
+        buffer.seek(0)
+        rebuilt = load(buffer)
+        assert [t.request.url for t in rebuilt] == [
+            t.request.url for t in trace
+        ]
+
+    def test_jsonl_is_line_per_record(self, trace):
+        buffer = io.StringIO()
+        dump(trace, buffer)
+        lines = [l for l in buffer.getvalue().splitlines() if l.strip()]
+        assert len(lines) == len(trace)
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('\n{"at": 1.0, "path": "/x", "params": {}}\n\n')
+        assert len(load(buffer)) == 1
+
+
+class TestValidation:
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_records([{"at": 1.0}])
+
+    def test_backwards_time_rejected(self):
+        records = [
+            {"at": 2.0, "path": "/a", "params": {}},
+            {"at": 1.0, "path": "/b", "params": {}},
+        ]
+        with pytest.raises(ConfigurationError):
+            from_records(records)
+
+    def test_defaults_filled(self):
+        rebuilt = from_records([{"at": 0.5, "path": "/x", "params": {}}])
+        assert rebuilt[0].request.user_id is None
+        assert rebuilt[0].page_rank == 1
+
+
+class TestReplayFidelity:
+    def test_replayed_trace_drives_identical_results(self, trace):
+        """Serving a trace directly equals serving its replayed copy."""
+        from repro.appserver import HttpRequest
+        from repro.network.latency import FREE
+        from repro.sites.synthetic import SyntheticParams, build_server
+
+        def serve_all(requests):
+            server = build_server(SyntheticParams(), cost_model=FREE)
+            return [server.handle(t.request).body_bytes for t in requests]
+
+        rebuilt = from_records(to_records(trace))
+        assert serve_all(trace) == serve_all(rebuilt)

@@ -1,0 +1,79 @@
+"""Tests for the visitor population."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.users import UserPopulation, Visitor, split_counts
+
+
+class TestUserPopulation:
+    def test_registered_fraction_respected(self):
+        population = UserPopulation(
+            ["u%d" % i for i in range(10)], registered_fraction=0.7
+        )
+        visitors = population.draw_many(random.Random(5), 5000)
+        registered, anonymous = split_counts(visitors)
+        assert registered / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_all_anonymous(self):
+        population = UserPopulation([], registered_fraction=0.0)
+        visitors = population.draw_many(random.Random(1), 100)
+        assert all(not visitor.registered for visitor in visitors)
+
+    def test_all_registered(self):
+        population = UserPopulation(["a", "b"], registered_fraction=1.0)
+        visitors = population.draw_many(random.Random(1), 100)
+        assert all(visitor.registered for visitor in visitors)
+
+    def test_registered_without_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserPopulation([], registered_fraction=0.5)
+
+    def test_user_sessions_are_stable(self):
+        population = UserPopulation(["bob"], registered_fraction=1.0)
+        a = population.draw(random.Random(1))
+        b = population.draw(random.Random(2))
+        assert a.session_id == b.session_id == "sess-bob"
+
+    def test_anonymous_sessions_rotate_within_pool(self):
+        population = UserPopulation([], registered_fraction=0.0,
+                                    anonymous_sessions=3)
+        sessions = {
+            population.draw(random.Random(seed)).session_id for seed in range(50)
+        }
+        assert len(sessions) <= 3
+
+    def test_user_popularity_is_skewed(self):
+        population = UserPopulation(
+            ["u%d" % i for i in range(20)], registered_fraction=1.0, user_alpha=1.0
+        )
+        rng = random.Random(11)
+        counts = {}
+        for _ in range(5000):
+            visitor = population.draw(rng)
+            counts[visitor.user_id] = counts.get(visitor.user_id, 0) + 1
+        assert counts["u0"] > counts.get("u19", 0) * 3
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            UserPopulation(["a"], registered_fraction=1.5)
+
+    def test_invalid_anonymous_pool(self):
+        with pytest.raises(ConfigurationError):
+            UserPopulation([], registered_fraction=0.0, anonymous_sessions=0)
+
+
+class TestVisitor:
+    def test_registered_property(self):
+        assert Visitor(user_id="bob", session_id="s").registered
+        assert not Visitor(user_id=None, session_id="s").registered
+
+    def test_split_counts(self):
+        visitors = [
+            Visitor("a", "s1"),
+            Visitor(None, "s2"),
+            Visitor("b", "s3"),
+        ]
+        assert split_counts(visitors) == (2, 1)

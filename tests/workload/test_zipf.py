@@ -1,0 +1,80 @@
+"""Tests for the Zipf distribution."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.zipf import ZipfChooser, ZipfDistribution, zipf_over
+
+
+class TestZipfDistribution:
+    def test_pmf_sums_to_one(self):
+        zipf = ZipfDistribution(10)
+        assert sum(zipf.pmf(rank) for rank in range(1, 11)) == pytest.approx(1.0)
+
+    def test_rank_one_most_popular(self):
+        zipf = ZipfDistribution(10)
+        assert zipf.pmf(1) > zipf.pmf(2) > zipf.pmf(10)
+
+    def test_alpha_zero_is_uniform(self):
+        zipf = ZipfDistribution(4, alpha=0.0)
+        for rank in range(1, 5):
+            assert zipf.pmf(rank) == pytest.approx(0.25)
+
+    def test_classic_ratio(self):
+        """With alpha=1, P(1)/P(2) == 2."""
+        zipf = ZipfDistribution(100, alpha=1.0)
+        assert zipf.pmf(1) / zipf.pmf(2) == pytest.approx(2.0)
+
+    def test_cdf_endpoints(self):
+        zipf = ZipfDistribution(5)
+        assert zipf.cdf(5) == pytest.approx(1.0)
+        assert zipf.cdf(1) == pytest.approx(zipf.pmf(1))
+
+    def test_out_of_range_rank(self):
+        zipf = ZipfDistribution(5)
+        with pytest.raises(ConfigurationError):
+            zipf.pmf(0)
+        with pytest.raises(ConfigurationError):
+            zipf.pmf(6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(0)
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(5, alpha=-1)
+
+    def test_sampling_matches_pmf(self):
+        zipf = ZipfDistribution(5, alpha=1.0)
+        rng = random.Random(7)
+        counts = [0] * 5
+        n = 20_000
+        for _ in range(n):
+            counts[zipf.sample(rng) - 1] += 1
+        for rank in range(1, 6):
+            assert counts[rank - 1] / n == pytest.approx(zipf.pmf(rank), abs=0.02)
+
+    def test_sample_many(self):
+        zipf = ZipfDistribution(3)
+        samples = zipf.sample_many(random.Random(1), 50)
+        assert len(samples) == 50
+        assert all(1 <= s <= 3 for s in samples)
+
+    def test_expected_counts(self):
+        zipf = ZipfDistribution(2, alpha=0.0)
+        assert zipf.expected_counts(100) == [pytest.approx(50.0)] * 2
+
+
+class TestZipfChooser:
+    def test_choice_returns_items(self):
+        chooser = zipf_over(["a", "b", "c"])
+        assert chooser.choose(random.Random(1)) in ("a", "b", "c")
+
+    def test_probability_of(self):
+        chooser = ZipfChooser(["hot", "cold"], alpha=1.0)
+        assert chooser.probability_of("hot") > chooser.probability_of("cold")
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfChooser([])
