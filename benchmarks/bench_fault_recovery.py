@@ -1,0 +1,131 @@
+"""Fault recovery: hit-ratio time-series under DPC crash and partition.
+
+Not a paper figure — the paper's §4.3.3 only documents the blunt restart
+protocol (clear the DPC, flush the BEM).  This bench charts what the
+``repro.faults`` subsystem adds on top: a crash dips the hit ratio to
+zero (downtime bridged by BEM bypass), the epoch resync runs on the first
+post-restart exchange, and miss traffic re-warms the cache back to within
+five points of the pre-crash steady state.  A paired no-fault run on the
+same seed gives the reference curve, and a link partition shows the
+retry/dead-letter path trading availability, never correctness.
+"""
+
+from repro.faults.chaos import ChaosConfig, run_chaos, summarize_recovery
+from repro.faults.injectors import ChannelPartition, DpcCrash
+from repro.harness.testbed import TestbedConfig
+
+REQUESTS = 900
+WARMUP = 100
+BUCKET = 50
+SEED = 11
+CRASH_AT = 6.0
+DOWNTIME = 0.2
+TOLERANCE = 0.05
+
+
+def chaos_config(faults):
+    return ChaosConfig(
+        testbed=TestbedConfig(
+            mode="dpc", requests=REQUESTS, warmup_requests=WARMUP, seed=SEED
+        ),
+        faults=faults,
+        bucket_requests=BUCKET,
+    )
+
+
+def crash_and_baseline():
+    baseline = run_chaos(chaos_config([]))
+    crashed = run_chaos(chaos_config([DpcCrash(at=CRASH_AT, downtime=DOWNTIME)]))
+    return baseline, crashed
+
+
+def test_dpc_crash_recovery(benchmark, report):
+    baseline, crashed = benchmark.pedantic(crash_and_baseline, rounds=1, iterations=1)
+    summary = summarize_recovery(crashed, fault_at=CRASH_AT, tolerance=TOLERANCE)
+
+    report(
+        "DPC crash at t=%.1fs (downtime %.1fs): hit ratio & wire bytes per bucket"
+        % (CRASH_AT, DOWNTIME),
+        ["t (s)", "h (no fault)", "h (crash)", "wire B (no fault)", "wire B (crash)"],
+        [
+            [
+                "%.2f" % fault_bucket.start_time,
+                "%.3f" % base_bucket.hit_ratio,
+                "%.3f" % fault_bucket.hit_ratio,
+                "%d" % base_bucket.wire_bytes,
+                "%d" % fault_bucket.wire_bytes,
+            ]
+            for base_bucket, fault_bucket in zip(baseline.buckets, crashed.buckets)
+        ],
+    )
+    report(
+        "Crash recovery summary",
+        ["metric", "value"],
+        [
+            ["steady-state hit ratio", "%.3f" % summary.steady_hit_ratio],
+            ["dip hit ratio", "%.3f" % summary.dip_hit_ratio],
+            ["recovery time (s)", "%.2f" % summary.recovery_time_s],
+            ["requests bridged by bypass", "%d" % crashed.bypassed_requests],
+            ["bypass bytes", "%d" % crashed.degradation.bypass_bytes],
+            [
+                "entries dropped by resync",
+                "%d" % crashed.recovery.entries_dropped,
+            ],
+            ["incorrect pages", "%d" % crashed.incorrect_pages],
+        ],
+    )
+
+    # Correctness: never a wrong page, with or without the fault.
+    assert baseline.incorrect_pages == 0
+    assert crashed.incorrect_pages == 0
+    # The crash visibly dipped the hit ratio, and it re-climbed to within
+    # five points of steady state before the run ended.
+    assert summary.dip_hit_ratio < summary.steady_hit_ratio - TOLERANCE
+    assert summary.recovered
+    # Downtime was bridged: availability stayed at 100%.
+    assert crashed.failed_requests == 0
+    assert crashed.bypassed_requests > 0
+    # Determinism: the exact same config reproduces the exact series.
+    rerun = run_chaos(chaos_config([DpcCrash(at=CRASH_AT, downtime=DOWNTIME)]))
+    assert rerun.series() == crashed.series()
+
+
+def test_partition_degrades_availability_not_correctness(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_chaos(
+            chaos_config([ChannelPartition(at=CRASH_AT, duration=0.5)])
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        "Origin-link partition at t=%.1fs (0.5s): per-bucket impact" % CRASH_AT,
+        ["t (s)", "hit ratio", "failed", "wire bytes"],
+        [
+            [
+                "%.2f" % bucket.start_time,
+                "%.3f" % bucket.hit_ratio,
+                "%d" % bucket.failed,
+                "%d" % bucket.wire_bytes,
+            ]
+            for bucket in result.buckets
+        ],
+    )
+    report(
+        "Partition summary",
+        ["metric", "value"],
+        [
+            ["failed requests (dead-lettered)", "%d" % result.failed_requests],
+            ["delivery retries", "%d" % result.delivery.retries],
+            ["dead letters", "%d" % result.delivery.dead_letters],
+            ["availability", "%.4f" % result.degradation.availability(result.requests)],
+            ["incorrect pages", "%d" % result.incorrect_pages],
+        ],
+    )
+
+    # The partition costs availability — and only availability.
+    assert result.incorrect_pages == 0
+    assert result.failed_requests > 0
+    assert result.delivery.dead_letters > 0
+    assert result.degradation.availability(result.requests) > 0.9

@@ -19,9 +19,15 @@ See README.md for the architecture tour and DESIGN.md for the module map.
 
 __version__ = "1.0.0"
 
-from . import analysis, appserver, baselines, cms, core, database, harness
-from . import network, sites, workload
-from .errors import ReproError
+from . import analysis, appserver, baselines, cms, core, database, faults
+from . import harness, network, sites, workload
+from .errors import (
+    DeliveryTimeoutError,
+    FaultError,
+    ProxyUnavailableError,
+    RecoveryError,
+    ReproError,
+)
 
 __all__ = [
     "analysis",
@@ -30,10 +36,15 @@ __all__ = [
     "cms",
     "core",
     "database",
+    "faults",
     "harness",
     "network",
     "sites",
     "workload",
+    "DeliveryTimeoutError",
+    "FaultError",
+    "ProxyUnavailableError",
+    "RecoveryError",
     "ReproError",
     "__version__",
 ]

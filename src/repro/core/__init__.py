@@ -13,7 +13,13 @@ Run-time flow (reverse-proxy configuration, Figure 4):
 """
 
 from .bem import BackEndMonitor, BemStats, ObjectCache
-from .cache_directory import CacheDirectory, DirectoryEntry, DirectoryStats, FreeList
+from .cache_directory import (
+    CacheDirectory,
+    DirectoryEntry,
+    DirectoryStats,
+    FreeList,
+    RepairReport,
+)
 from .coherency import ProxyGroup
 from .dpc import AssembledPage, DpcStats, DynamicProxyCache
 from .fragments import Dependency, Fragment, FragmentID, FragmentMetadata
@@ -49,6 +55,7 @@ __all__ = [
     "DirectoryEntry",
     "DirectoryStats",
     "FreeList",
+    "RepairReport",
     "ProxyGroup",
     "DynamicProxyCache",
     "DpcStats",

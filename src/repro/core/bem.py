@@ -135,6 +135,11 @@ class BackEndMonitor:
         self.objects = ObjectCache(self.clock)
         self.template_config = template_config
         self.stats = BemStats()
+        #: The DPC generation this directory is synchronized against.  New
+        #: entries are stamped with it; the resync protocol
+        #: (:mod:`repro.faults.recovery`) advances it when it observes a
+        #: restarted proxy and drops entries stamped with older epochs.
+        self.epoch = 0
 
     @classmethod
     def with_policy(cls, capacity: int, policy_name: str, **kwargs) -> "BackEndMonitor":
@@ -176,7 +181,7 @@ class BackEndMonitor:
         content = generate()
         size = len(content.encode("utf-8"))
         self.stats.bytes_generated += size
-        entry = self.directory.insert(fragment_id, metadata, size, now)
+        entry = self.directory.insert(fragment_id, metadata, size, now, epoch=self.epoch)
         if metadata.dependencies:
             self.invalidation.watch(fragment_id, tuple(metadata.dependencies))
         return SetInstruction(entry.dpc_key, content)

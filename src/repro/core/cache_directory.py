@@ -48,6 +48,10 @@ class DirectoryEntry:
     hits: int = 0
     size_bytes: int = 0
     dependencies: tuple = ()
+    #: DPC generation this entry's SET was issued against.  Entries whose
+    #: epoch predates the proxy's current epoch reference slots that were
+    #: wiped by a restart; the resync protocol invalidates them wholesale.
+    epoch: int = 0
 
     def fresh(self, now: float) -> bool:
         """Valid and within TTL."""
@@ -120,6 +124,20 @@ class DirectoryStats:
         return self.hits / self.lookups
 
 
+@dataclass
+class RepairReport:
+    """What one :meth:`CacheDirectory.audit_and_repair` pass fixed."""
+
+    stale_mappings: int = 0     # valid-by-key rows pointing at invalid entries
+    orphaned_records: int = 0   # directory rows with no valid slot claim
+    keys_reclaimed: int = 0     # dpcKeys that were neither free nor valid
+
+    @property
+    def anomalies(self) -> int:
+        """Total violations repaired; 0 means the directory was healthy."""
+        return self.stale_mappings + self.orphaned_records + self.keys_reclaimed
+
+
 class CacheDirectory:
     """fragmentID -> :class:`DirectoryEntry`, plus the freeList.
 
@@ -179,6 +197,7 @@ class CacheDirectory:
         metadata: FragmentMetadata,
         size_bytes: int,
         now: float,
+        epoch: int = 0,
     ) -> DirectoryEntry:
         """Create the entry for a just-generated fragment (miss case 1).
 
@@ -204,6 +223,7 @@ class CacheDirectory:
             last_access=now,
             size_bytes=size_bytes,
             dependencies=tuple(metadata.dependencies),
+            epoch=epoch,
         )
         self._entries[canonical] = entry
         self._valid_by_key[key] = entry
@@ -268,6 +288,59 @@ class CacheDirectory:
         canonical = entry.fragment_id.canonical()
         if self._entries.get(canonical) is entry:
             del self._entries[canonical]
+
+    # -- repair (recovery API; see repro.faults.recovery) --------------------------
+
+    def rebuild_free_list(self) -> int:
+        """Reconstruct the freeList from first principles.
+
+        The freeList must hold exactly the dpcKeys not backing a valid
+        entry.  A desynchronized deployment (crashed DPC, corrupted
+        bookkeeping) can leak keys — neither free nor valid — which silently
+        shrinks the cache until :class:`~repro.errors.DirectoryFullError`.
+        This rebuilds the list in ascending key order and returns the number
+        of keys reclaimed (keys that were leaked before the rebuild).
+        """
+        fresh = FreeList(self.capacity)
+        fresh._keys = deque(
+            key for key in range(self.capacity) if key not in self._valid_by_key
+        )
+        fresh._members = set(fresh._keys)
+        reclaimed = sum(
+            1 for key in fresh._members if key not in self.free_list._members
+        )
+        self.free_list = fresh
+        return reclaimed
+
+    def audit_and_repair(self) -> "RepairReport":
+        """Detect and repair slot-discipline violations (invariant #2).
+
+        Handles the desync modes the chaos harness can inject: entries whose
+        ``isValid`` flag was flipped without the freeList bookkeeping,
+        records whose valid-by-key mapping no longer points back at them,
+        and dpcKeys leaked off the freeList.  After the repair the
+        slot-discipline invariant is re-checked; a surviving violation is a
+        bug, not a fault, and raises :class:`AssertionError`.
+        """
+        stale_mappings = 0
+        for key, entry in list(self._valid_by_key.items()):
+            if not entry.is_valid or entry.dpc_key != key:
+                del self._valid_by_key[key]
+                stale_mappings += 1
+        orphaned_records = 0
+        for canonical, entry in list(self._entries.items()):
+            if entry.is_valid and self._valid_by_key.get(entry.dpc_key) is entry:
+                continue  # healthy row
+            entry.is_valid = False
+            del self._entries[canonical]
+            orphaned_records += 1
+        keys_reclaimed = self.rebuild_free_list()
+        self.check_invariants()
+        return RepairReport(
+            stale_mappings=stale_mappings,
+            orphaned_records=orphaned_records,
+            keys_reclaimed=keys_reclaimed,
+        )
 
     # -- introspection -------------------------------------------------------------
 

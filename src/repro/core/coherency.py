@@ -15,6 +15,13 @@ overwritten by the next SET routed to that proxy.
 :class:`ProxyGroup` owns the per-proxy (BEM, DPC) pairs and the fan-out.
 ``coherency_messages`` counts the logical invalidation fan-out so the
 scalability bench can chart coherency traffic against the proxy count.
+
+A deployment may route the fan-out over a real (fault-injectable) control
+channel via :meth:`ProxyGroup.use_control_plane`, optionally retried by a
+:class:`repro.faults.retry.ReliableDelivery` policy.  When delivery to a
+member dead-letters, the group falls back to the only safe action — flush
+that member's directory — so a lost invalidation can degrade hit ratio but
+can never cause a stale fragment to be served.
 """
 
 from __future__ import annotations
@@ -22,12 +29,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..database.triggers import TriggerBus
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FaultError, NetworkError
+from ..network.channel import Channel
 from ..network.clock import SimulatedClock
+from ..network.message import request_message
 from .bem import BackEndMonitor
 from .dpc import DynamicProxyCache
 from .replacement import make_policy
 from .template import DEFAULT_CONFIG, TemplateConfig
+
+#: Payload size of one logical invalidation message on the control plane
+#: (fragment identity plus framing; sized like a small HTTP control call).
+INVALIDATION_MESSAGE_BYTES = 64
 
 
 class ProxyGroup:
@@ -47,6 +60,9 @@ class ProxyGroup:
         self._members: Dict[str, Tuple[BackEndMonitor, DynamicProxyCache]] = {}
         self._buses: List[TriggerBus] = []
         self.coherency_messages = 0
+        self.control_channel: Optional[Channel] = None
+        self.delivery = None  # duck-typed: .deliver(send_fn), e.g. ReliableDelivery
+        self.dead_letter_flushes = 0
 
     # -- membership ----------------------------------------------------------------
 
@@ -106,13 +122,49 @@ class ProxyGroup:
     def _count_fanout(self, event) -> None:
         self.coherency_messages += len(self._members)
 
+    def use_control_plane(self, channel: Channel, delivery=None) -> None:
+        """Route explicit invalidation fan-out over a real channel.
+
+        ``delivery`` is an optional retry wrapper (duck-typed: it must offer
+        ``deliver(send_fn)`` and raise on exhaustion, e.g.
+        :class:`repro.faults.retry.ReliableDelivery`).  Without one, a
+        single failed send immediately dead-letters.
+        """
+        self.control_channel = channel
+        self.delivery = delivery
+
+    def _deliver_control(self) -> bool:
+        """One control-plane invalidation message; True if it got through."""
+        if self.control_channel is None:
+            return True
+        send = lambda: self.control_channel.send(  # noqa: E731 - tiny thunk
+            request_message(INVALIDATION_MESSAGE_BYTES)
+        )
+        try:
+            if self.delivery is not None:
+                self.delivery.deliver(send)
+            else:
+                send()
+            return True
+        except (NetworkError, FaultError):
+            return False
+
+    def _dead_letter(self, bem: BackEndMonitor) -> None:
+        """Invalidation lost for a member: the only safe fallback is to
+        flush that member's directory, trading hit ratio for correctness."""
+        bem.flush()
+        self.dead_letter_flushes += 1
+
     def invalidate_fragment(self, name: str, params=None) -> int:
         """Explicit invalidation broadcast to every proxy's directory."""
         invalidated = 0
         for bem, _ in self._members.values():
             self.coherency_messages += 1
-            if bem.invalidate_fragment(name, params):
-                invalidated += 1
+            if self._deliver_control():
+                if bem.invalidate_fragment(name, params):
+                    invalidated += 1
+            else:
+                self._dead_letter(bem)
         return invalidated
 
     def invalidate_block(self, name: str) -> int:
@@ -120,7 +172,10 @@ class ProxyGroup:
         invalidated = 0
         for bem, _ in self._members.values():
             self.coherency_messages += 1
-            invalidated += bem.invalidate_block(name)
+            if self._deliver_control():
+                invalidated += bem.invalidate_block(name)
+            else:
+                self._dead_letter(bem)
         return invalidated
 
     def flush_all(self) -> int:

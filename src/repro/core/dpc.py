@@ -61,6 +61,10 @@ class AssembledPage:
     page_bytes: int
     fragments_set: int
     fragments_get: int
+    #: The proxy's generation counter at assembly time.  The BEM-side
+    #: resync protocol (:mod:`repro.faults.recovery`) watches this value on
+    #: returning traffic to detect cold restarts.
+    epoch: int = 0
 
     @property
     def expansion_ratio(self) -> float:
@@ -92,6 +96,11 @@ class DynamicProxyCache:
         self._slots: List[Optional[str]] = [None] * capacity
         self.scanner = TagScanner(SENTINEL)
         self.stats = DpcStats()
+        #: Generation counter: bumped every time the slot array is wiped
+        #: (cold restart).  Carried on every :class:`AssembledPage` so the
+        #: BEM can detect a restart from normal SET/GET traffic and run the
+        #: resync protocol instead of failing on the first stale GET.
+        self.epoch = 0
 
     # -- slot primitives ---------------------------------------------------------
 
@@ -170,16 +179,21 @@ class DynamicProxyCache:
             page_bytes=page_bytes,
             fragments_set=sets,
             fragments_get=gets,
+            epoch=self.epoch,
         )
 
     # -- maintenance ---------------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop every slot (e.g. proxy restart).  Safe: the BEM re-SETs on
-        the next request for each fragment because its directory is the
-        source of truth — though after a restart the directory must be
-        flushed too, or GETs would reference empty slots."""
+        """Drop every slot (proxy restart) and advance the epoch.
+
+        Safe: the BEM re-SETs on the next request for each fragment because
+        its directory is the source of truth — though after a restart the
+        directory must be resynchronized too (flushed, or epoch-resynced via
+        :class:`repro.faults.recovery.ResyncProtocol`), or GETs would
+        reference empty slots."""
         self._slots = [None] * self.capacity
+        self.epoch += 1
 
     @property
     def bytes_scanned(self) -> int:

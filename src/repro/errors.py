@@ -128,5 +128,30 @@ class ChannelClosed(NetworkError):
     """A message was sent over a channel that has been closed."""
 
 
+class MessageDropped(NetworkError):
+    """A message was discarded in flight by an injected network fault."""
+
+
 class RoutingError(NetworkError):
     """The forward-proxy router could not place a request on any proxy."""
+
+
+# --------------------------------------------------------------------------
+# Fault-injection / resilience errors
+# --------------------------------------------------------------------------
+
+
+class FaultError(ReproError):
+    """Base class for failures surfaced by the fault/resilience subsystem."""
+
+
+class ProxyUnavailableError(FaultError):
+    """The DPC is down (crashed or partitioned) and no fallback is allowed."""
+
+
+class RecoveryError(FaultError):
+    """A resync/anti-entropy pass could not restore a consistent state."""
+
+
+class DeliveryTimeoutError(FaultError):
+    """A retried delivery exhausted its attempts and was dead-lettered."""

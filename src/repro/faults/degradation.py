@@ -1,0 +1,130 @@
+"""Graceful-degradation modes and their per-request accounting.
+
+The paper's stated fallback is BEM bypass: "if the DPC fails, pages are
+still generated uncached" — availability is preserved at the cost of
+origin bandwidth and server load.  This module models that fallback plus a
+stale-while-revalidate grace window (serve a TTL-expired fragment for a
+bounded grace period while scheduling its refresh), and keeps per-request
+accounting so benches can report exactly what each degradation mode cost:
+bypassed requests and their full-page bytes, stale serves and their
+correctness exposure, outright failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.bem import BackEndMonitor
+from ..core.cache_directory import DirectoryEntry
+from ..core.fragments import FragmentID
+from ..errors import ConfigurationError
+
+
+@dataclass
+class DegradationStats:
+    """What graceful degradation cost, request by request."""
+
+    bypassed_requests: int = 0   # served fully dynamic (DPC unreachable)
+    bypass_bytes: int = 0        # full-page bytes those requests shipped
+    failed_requests: int = 0     # no fallback possible; request dropped
+    stale_hits: int = 0          # fragments served past TTL within grace
+    stale_bytes: int = 0         # bytes of stale fragment content served
+    refreshes_scheduled: int = 0  # revalidations queued by stale serves
+
+    @property
+    def fallback_requests(self) -> int:
+        """Requests that needed any degradation mode at all."""
+        return self.bypassed_requests + self.failed_requests
+
+    def availability(self, total_requests: int) -> float:
+        """Fraction of requests that received *some* page."""
+        if total_requests <= 0:
+            return 0.0
+        return 1.0 - self.failed_requests / total_requests
+
+
+class GracefulDegrader:
+    """Fallback decision-making and accounting for one deployment.
+
+    ``grace_s`` is the stale-while-revalidate window: a TTL-expired
+    directory entry may still be served for up to ``grace_s`` seconds past
+    its expiry, provided its refresh is scheduled.  ``grace_s = 0``
+    disables stale serving (the strict mode the correctness invariant
+    assumes).
+    """
+
+    def __init__(
+        self, bem: Optional[BackEndMonitor] = None, grace_s: float = 0.0
+    ) -> None:
+        if grace_s < 0:
+            raise ConfigurationError("grace window cannot be negative")
+        self.bem = bem
+        self.grace_s = grace_s
+        self.stats = DegradationStats()
+        self._refresh_queue: List[FragmentID] = []
+
+    # -- BEM bypass (the paper's fallback) -----------------------------------
+
+    def record_bypass(self, page_bytes: int) -> None:
+        """Account one request served fully dynamic because the DPC is down."""
+        self.stats.bypassed_requests += 1
+        self.stats.bypass_bytes += page_bytes
+
+    def record_failure(self) -> None:
+        """Account one request that could not be served at all."""
+        self.stats.failed_requests += 1
+
+    # -- stale-while-revalidate ----------------------------------------------
+
+    def stale_lookup(
+        self, fragment_id: FragmentID, now: float
+    ) -> Optional[DirectoryEntry]:
+        """Serve-stale probe: a fresh entry, or an expired one within grace.
+
+        Returns ``None`` on a true miss (no entry, invalid entry, or expired
+        beyond the grace window).  A stale return schedules the fragment for
+        refresh exactly once per staleness episode and is accounted as a
+        stale hit — the correctness cost a bench can then report.
+        """
+        if self.bem is None:
+            raise ConfigurationError("stale_lookup needs a BEM")
+        entry = self.bem.directory.peek(fragment_id)
+        if entry is None or not entry.is_valid:
+            return None
+        if entry.fresh(now):
+            return entry
+        if self.grace_s <= 0 or entry.ttl is None:
+            return None
+        if now >= entry.created_at + entry.ttl + self.grace_s:
+            return None
+        self.stats.stale_hits += 1
+        self.stats.stale_bytes += entry.size_bytes
+        self.stats.refreshes_scheduled += 1
+        self._refresh_queue.append(fragment_id)
+        return entry
+
+    def drain_refreshes(self) -> List[FragmentID]:
+        """Fragments whose revalidation is due (cleared on read).
+
+        The caller regenerates these through the normal miss path — in the
+        simulation that means invalidating the entry so the next request
+        re-runs the block.
+        """
+        due, self._refresh_queue = self._refresh_queue, []
+        return due
+
+    def revalidate_due(self) -> int:
+        """Invalidate every fragment in the refresh queue; returns count.
+
+        This is the "revalidate" half of stale-while-revalidate: after the
+        stale copy bought time, the entry is dropped so the next request
+        regenerates fresh content.
+        """
+        if self.bem is None:
+            raise ConfigurationError("revalidate_due needs a BEM")
+        count = 0
+        for fragment_id in self.drain_refreshes():
+            if self.bem.directory.invalidate(fragment_id):
+                count += 1
+        return count

@@ -1,0 +1,265 @@
+"""Composable, clock-scheduled fault injectors.
+
+Each injector models one production failure the paper's deployment story
+glosses over: a DPC box crashing cold, the origin link partitioning or
+degrading, invalidation messages getting lost, or the BEM's bookkeeping
+desynchronizing from the DPC's slot array.  Injectors *wrap* existing
+objects — they flip channel state, wipe slot arrays, corrupt directory
+rows — and the core modules stay fault-unaware except for the recovery API
+in :mod:`repro.faults.recovery`.
+
+A :class:`FaultSchedule` drives a list of injectors off the simulated
+clock: each injector has a start instant ``at`` and a ``duration``; the
+schedule fires ``start``/``stop`` transitions as virtual time passes, and
+answers "is the proxy reachable right now?" for the harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.bem import BackEndMonitor
+from ..core.cache_directory import CacheDirectory
+from ..core.dpc import DynamicProxyCache
+from ..errors import ConfigurationError, MessageDropped
+from ..network.channel import Channel
+from ..network.clock import SimulatedClock
+
+
+@dataclass
+class FaultContext:
+    """The objects injectors act on — one deployment's moving parts."""
+
+    clock: SimulatedClock
+    bem: BackEndMonitor
+    dpc: DynamicProxyCache
+    channel: Optional[Channel] = None
+
+    @property
+    def directory(self) -> CacheDirectory:
+        """The BEM's cache directory (shorthand for injector code)."""
+        return self.bem.directory
+
+
+class FaultInjector:
+    """Base class: a scheduled fault with an activation window.
+
+    Subclasses override :meth:`start` (fired once when the clock first
+    reaches ``at``) and :meth:`stop` (fired once when it reaches
+    ``at + duration``).  A zero duration makes the fault a one-shot event
+    whose start and stop fire on the same tick.
+    """
+
+    def __init__(self, at: float, duration: float = 0.0) -> None:
+        if at < 0 or duration < 0:
+            raise ConfigurationError("fault times cannot be negative")
+        self.at = at
+        self.duration = duration
+        self.started = False
+        self.stopped = False
+
+    def active(self, now: float) -> bool:
+        """Whether ``now`` falls inside the fault's activation window."""
+        return self.at <= now < self.at + self.duration
+
+    def start(self, ctx: FaultContext) -> None:
+        """Apply the fault.  Subclasses override."""
+
+    def stop(self, ctx: FaultContext) -> None:
+        """Heal the fault.  Subclasses override."""
+
+    def proxy_down(self, now: float) -> bool:
+        """Whether this fault makes the DPC unreachable at ``now``."""
+        return False
+
+    def _channel(self, ctx: FaultContext) -> Channel:
+        if ctx.channel is None:
+            raise ConfigurationError("%r needs a channel in the context" % self)
+        return ctx.channel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(at=%.3f, duration=%.3f)" % (
+            type(self).__name__, self.at, self.duration,
+        )
+
+
+class FaultSchedule:
+    """Drives a set of injectors off the simulated clock."""
+
+    def __init__(self, injectors: Optional[List[FaultInjector]] = None) -> None:
+        self.injectors = sorted(injectors or [], key=lambda inj: inj.at)
+
+    def tick(self, ctx: FaultContext, now: float) -> None:
+        """Fire every due start/stop transition at virtual time ``now``."""
+        for injector in self.injectors:
+            if not injector.started and now >= injector.at:
+                injector.started = True
+                injector.start(ctx)
+            if (
+                injector.started
+                and not injector.stopped
+                and now >= injector.at + injector.duration
+            ):
+                injector.stopped = True
+                injector.stop(ctx)
+
+    def proxy_down(self, now: float) -> bool:
+        """Whether any injector currently makes the DPC unreachable."""
+        return any(injector.proxy_down(now) for injector in self.injectors)
+
+    def reset(self) -> None:
+        """Re-arm every injector (for paired reruns with one schedule)."""
+        for injector in self.injectors:
+            injector.started = False
+            injector.stopped = False
+
+
+class DpcCrash(FaultInjector):
+    """The proxy box dies: slot array wiped, cold restart after a downtime.
+
+    While down, the proxy is unreachable (the harness serves the paper's
+    fallback — fully dynamic pages — or fails requests).  The wipe bumps
+    the DPC epoch, which is what the BEM-side resync protocol later detects
+    on the first post-restart exchange.
+    """
+
+    def __init__(self, at: float, downtime: float = 1.0) -> None:
+        super().__init__(at, downtime)
+
+    def start(self, ctx: FaultContext) -> None:
+        """Wipe the slot array (this is the crash; clear() bumps the epoch)."""
+        ctx.dpc.clear()
+
+    def proxy_down(self, now: float) -> bool:
+        """Unreachable from the crash until the restart completes."""
+        return self.active(now)
+
+
+class ChannelPartition(FaultInjector):
+    """Hard partition of a link for a window: every send raises."""
+
+    def start(self, ctx: FaultContext) -> None:
+        """Cut the link."""
+        self._channel(ctx).close()
+
+    def stop(self, ctx: FaultContext) -> None:
+        """Heal the partition."""
+        self._channel(ctx).reopen()
+
+
+class ChannelDegradation(FaultInjector):
+    """Soft fault: every message on the link pays extra delay for a window."""
+
+    def __init__(self, at: float, duration: float, extra_delay_s: float) -> None:
+        super().__init__(at, duration)
+        if extra_delay_s < 0:
+            raise ConfigurationError("extra delay cannot be negative")
+        self.extra_delay_s = extra_delay_s
+
+    def start(self, ctx: FaultContext) -> None:
+        """Install the delay hook on the channel."""
+        self._channel(ctx).add_fault(self._delay)
+
+    def stop(self, ctx: FaultContext) -> None:
+        """Remove the delay hook."""
+        self._channel(ctx).remove_fault(self._delay)
+
+    def _delay(self, message) -> float:
+        return self.extra_delay_s
+
+
+class MessageLoss(FaultInjector):
+    """Probabilistic, seeded message drop on a channel for a window."""
+
+    def __init__(
+        self,
+        at: float,
+        duration: float,
+        drop_probability: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(at, duration)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ConfigurationError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+        self._rng = random.Random(seed)
+
+    def start(self, ctx: FaultContext) -> None:
+        """Install the lossy hook on the channel."""
+        self._channel(ctx).add_fault(self._maybe_drop)
+
+    def stop(self, ctx: FaultContext) -> None:
+        """Remove the lossy hook."""
+        self._channel(ctx).remove_fault(self._maybe_drop)
+
+    def _maybe_drop(self, message) -> float:
+        if self._rng.random() < self.drop_probability:
+            raise MessageDropped("injected loss (p=%.2f)" % self.drop_probability)
+        return 0.0
+
+
+#: Corruption modes understood by :class:`DirectoryCorruption`.
+CORRUPTION_MODES = ("flip_valid", "leak_key", "drop_slot")
+
+
+class DirectoryCorruption(FaultInjector):
+    """One-shot BEM↔DPC desync: corrupt bookkeeping, not content.
+
+    Modes (all seeded and deterministic):
+
+    * ``flip_valid`` — flip ``isValid`` on up to ``count`` valid entries
+      *without* the freeList bookkeeping, leaving their dpcKeys neither
+      free nor reusable (the slow capacity leak a crashed invalidation
+      pass would cause).
+    * ``leak_key`` — pop up to ``count`` keys off the freeList and discard
+      them outright.
+    * ``drop_slot`` — empty the DPC slot behind up to ``count`` valid
+      entries while the directory still believes they are resident; the
+      next GET fails loudly (fail-stop) and triggers recovery.
+
+    None of the modes can resurrect stale content, so they degrade hit
+    ratio and capacity but never correctness — matching the safety story
+    the recovery protocol is obliged to preserve.
+    """
+
+    def __init__(
+        self,
+        at: float,
+        mode: str = "flip_valid",
+        count: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(at, duration=0.0)
+        if mode not in CORRUPTION_MODES:
+            raise ConfigurationError("mode must be one of %s" % (CORRUPTION_MODES,))
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        self.mode = mode
+        self.count = count
+        self._rng = random.Random(seed)
+        self.corrupted = 0
+
+    def start(self, ctx: FaultContext) -> None:
+        """Apply the corruption (one shot)."""
+        directory = ctx.directory
+        if self.mode == "leak_key":
+            leaked = 0
+            while leaked < self.count and len(directory.free_list):
+                directory.free_list.pop()  # discarded: neither free nor valid
+                leaked += 1
+            self.corrupted = leaked
+            return
+        victims = sorted(directory.valid_entries(), key=lambda e: e.dpc_key)
+        if not victims:
+            return
+        picks = self._rng.sample(victims, min(self.count, len(victims)))
+        for entry in picks:
+            if self.mode == "flip_valid":
+                # Desync on purpose: flip the flag but skip every piece of
+                # bookkeeping _invalidate_entry would have done.
+                entry.is_valid = False
+            else:  # drop_slot
+                ctx.dpc._slots[entry.dpc_key] = None
+        self.corrupted = len(picks)

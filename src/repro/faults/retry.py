@@ -1,0 +1,123 @@
+"""Seeded, clock-driven timeout/retry/backoff for unreliable deliveries.
+
+The paper's deployment assumes TCP makes the BEM→DPC path reliable; once
+faults can drop or delay messages, every delivery that matters — the
+response template itself, coherency fan-out to forward proxies — needs a
+retry discipline.  :class:`RetryPolicy` is the schedule (exponential
+backoff with bounded, seeded jitter); :class:`ReliableDelivery` executes it
+against a :class:`~repro.network.clock.SimulatedClock`, so retries cost
+virtual time exactly like any other latency, and keeps a dead-letter count
+when a delivery exhausts its attempts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from ..errors import ConfigurationError, DeliveryTimeoutError, NetworkError
+from ..network.clock import SimulatedClock
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule with multiplicative jitter.
+
+    The delay before retry ``k`` (0-indexed) is
+    ``min(base_delay_s * multiplier**k, max_delay_s)`` scaled by a uniform
+    factor in ``[1 - jitter, 1 + jitter]``.  All randomness comes from the
+    caller-supplied RNG, so a seeded run is fully deterministic.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ConfigurationError("max_attempts must be positive")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before the retry following failed attempt ``attempt``."""
+        if attempt < 0:
+            raise ConfigurationError("attempt cannot be negative")
+        delay = min(self.base_delay_s * (self.multiplier ** attempt), self.max_delay_s)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+@dataclass
+class DeliveryStats:
+    """Counters for one :class:`ReliableDelivery` instance."""
+
+    attempts: int = 0        # individual send attempts, including failures
+    deliveries: int = 0      # sends that eventually succeeded
+    retries: int = 0         # extra attempts beyond the first
+    dead_letters: int = 0    # deliveries that exhausted every attempt
+    total_backoff_s: float = 0.0
+
+    @property
+    def first_try_ratio(self) -> float:
+        """Fraction of successful deliveries that needed no retry."""
+        if self.deliveries == 0:
+            return 0.0
+        return (self.deliveries - min(self.retries, self.deliveries)) / self.deliveries
+
+
+class ReliableDelivery:
+    """Run a send thunk under a :class:`RetryPolicy` on the virtual clock.
+
+    ``deliver`` treats any :class:`~repro.errors.NetworkError` from the
+    thunk as a transient failure: it backs off (advancing the clock) and
+    retries.  When attempts are exhausted the delivery is dead-lettered and
+    a :class:`~repro.errors.DeliveryTimeoutError` is raised, chaining the
+    last transport error.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[SimulatedClock] = None,
+        seed: int = 0,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = clock
+        self.stats = DeliveryStats()
+        self._rng = random.Random(seed)
+
+    def deliver(self, send: Callable[[], T]) -> T:
+        """Attempt ``send()`` until it succeeds or the policy is exhausted."""
+        policy = self.policy
+        last_error: Optional[NetworkError] = None
+        for attempt in range(policy.max_attempts):
+            self.stats.attempts += 1
+            try:
+                result = send()
+            except NetworkError as exc:
+                last_error = exc
+                if attempt + 1 < policy.max_attempts:
+                    delay = policy.delay_for(attempt, self._rng)
+                    self.stats.total_backoff_s += delay
+                    if self.clock is not None:
+                        self.clock.advance(delay)
+                continue
+            self.stats.deliveries += 1
+            self.stats.retries += attempt
+            return result
+        self.stats.dead_letters += 1
+        raise DeliveryTimeoutError(
+            "delivery failed after %d attempts (%s)"
+            % (policy.max_attempts, last_error)
+        ) from last_error

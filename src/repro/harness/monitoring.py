@@ -51,11 +51,18 @@ def take_snapshot(
     dpc: Optional[DynamicProxyCache] = None,
     firewall: Optional[Firewall] = None,
     sniffer: Optional[Sniffer] = None,
+    recovery=None,
 ) -> DeploymentSnapshot:
-    """Collect the current counters of whichever components are given."""
+    """Collect the current counters of whichever components are given.
+
+    ``recovery`` is duck-typed (anything exposing ``snapshot_rows()``,
+    e.g. :class:`repro.faults.recovery.ResyncProtocol`) so that this module
+    stays import-independent of the fault subsystem.
+    """
     snapshot = DeploymentSnapshot()
     if bem is not None:
         stats = bem.stats
+        snapshot.add("bem.epoch", bem.epoch)
         snapshot.add("bem.blocks_processed", stats.blocks_processed)
         snapshot.add("bem.fragment_hits", stats.fragment_hits)
         snapshot.add("bem.fragment_misses", stats.fragment_misses)
@@ -79,6 +86,7 @@ def take_snapshot(
         snapshot.add("objects.memoized", len(bem.objects))
     if dpc is not None:
         stats = dpc.stats
+        snapshot.add("dpc.epoch", dpc.epoch)
         snapshot.add("dpc.responses_processed", stats.responses_processed)
         snapshot.add("dpc.template_bytes_in", stats.template_bytes_in)
         snapshot.add("dpc.page_bytes_out", stats.page_bytes_out)
@@ -102,4 +110,7 @@ def take_snapshot(
         snapshot.add("link.response_payload_bytes",
                      sniffer.counters("response").payload_bytes)
         snapshot.add("link.total_wire_bytes", sniffer.total_wire_bytes)
+    if recovery is not None:
+        for name, value in recovery.snapshot_rows():
+            snapshot.add(name, value)
     return snapshot

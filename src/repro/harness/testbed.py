@@ -178,6 +178,12 @@ class Testbed:
         self._hit_rng = random.Random(config.seed + 1)
         self._oracle = self._build_oracle_server()
 
+        #: Injector hook points: callables invoked as ``hook(testbed, index,
+        #: timed)`` before each request is served.  The chaos harness
+        #: (:mod:`repro.faults.chaos`) uses these to fire scheduled faults;
+        #: the testbed itself stays fault-unaware.
+        self.pre_request_hooks: List = []
+
     def _build_monitor(self, template_config: TemplateConfig):
         config = self.config
         if config.mode == "no_cache":
@@ -245,9 +251,11 @@ class Testbed:
                 invalidated_at_cut = self._monitor_invalidations()
 
             self.clock.advance_to(timed.at)
+            for hook in self.pre_request_hooks:
+                hook(self, index, timed)
             self._churn_fragments(timed.request)
             start = self.clock.now()
-            html = self._serve_once(timed.request)
+            html = self.serve_once(timed.request)
             elapsed = self.clock.now() - start
 
             if measuring:
@@ -257,7 +265,7 @@ class Testbed:
                     and (index - config.warmup_requests) % config.correctness_every == 0
                 ):
                     result.pages_checked += 1
-                    oracle = self._oracle.render_reference_page(timed.request)
+                    oracle = self.render_oracle(timed.request)
                     if html != oracle:
                         result.pages_incorrect += 1
 
@@ -283,7 +291,16 @@ class Testbed:
 
     # -- per-request pipeline -----------------------------------------------------
 
-    def _serve_once(self, request: HttpRequest) -> str:
+    def render_oracle(self, request: HttpRequest) -> str:
+        """The reference (caching-disabled) page for a request.
+
+        Rendered by a zero-cost server over the *same* services, so it is
+        byte-comparable with whatever the cached pipeline delivered — the
+        assembly-correctness oracle used by chaos and correctness checks.
+        """
+        return self._oracle.render_reference_page(request)
+
+    def serve_once(self, request: HttpRequest) -> str:
         """One request through the Figure 4 pipeline; returns final HTML."""
         config = self.config
 

@@ -8,16 +8,19 @@ topology (e.g. Origin Site <-> External).  Sending a message:
 3. returns the transfer time implied by the channel's bandwidth/latency,
    which the caller may add to a :class:`SimulatedClock`.
 
-Channels are synchronous and lossless — the paper's testbed is a quiet LAN;
-queueing and loss are not what its experiments measure.
+Channels are synchronous and — by default — lossless: the paper's testbed is
+a quiet LAN; queueing and loss are not what its experiments measure.  The
+fault-injection subsystem (:mod:`repro.faults`) can make a channel lossy or
+slow through :meth:`Channel.add_fault` hooks, and partitions are modeled
+with :meth:`Channel.close` / :meth:`Channel.reopen`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from ..errors import ChannelClosed, ConfigurationError
+from ..errors import ChannelClosed, ConfigurationError, NetworkError
 from .clock import SimulatedClock
 from .message import ProtocolOverheadModel, WireMessage
 from .sniffer import Sniffer
@@ -67,8 +70,10 @@ class Channel:
         self.overhead = overhead if overhead is not None else ProtocolOverheadModel()
         self.clock = clock
         self._sniffers: List[Sniffer] = []
+        self._faults: List[Callable[[WireMessage], Optional[float]]] = []
         self._closed = False
         self.messages_sent = 0
+        self.messages_dropped = 0
 
     # -- monitoring ---------------------------------------------------------
 
@@ -89,6 +94,24 @@ class Channel:
         """Stop a sniffer from observing this channel."""
         self._sniffers.remove(sniffer)
 
+    # -- fault injection ----------------------------------------------------
+
+    def add_fault(self, fault: Callable[[WireMessage], Optional[float]]) -> None:
+        """Install a fault hook consulted on every send.
+
+        A hook may raise a :class:`~repro.errors.NetworkError` subclass to
+        drop the message (it never reaches the sniffers and is counted in
+        ``messages_dropped``), or return a number of seconds of extra delay
+        to model link degradation.  Returning ``None``/``0`` leaves the
+        send untouched.
+        """
+        self._faults.append(fault)
+
+    def remove_fault(self, fault: Callable[[WireMessage], Optional[float]]) -> None:
+        """Uninstall a fault hook; unknown hooks are ignored (idempotent)."""
+        if fault in self._faults:
+            self._faults.remove(fault)
+
     # -- transmission -------------------------------------------------------
 
     def send(self, message: WireMessage) -> float:
@@ -96,16 +119,28 @@ class Channel:
 
         The channel advances its clock (if it has one) by the transfer time,
         so latency accumulates naturally as a request/response exchange
-        bounces over the topology.
+        bounces over the topology.  Raises :class:`ChannelClosed` (a typed
+        :class:`~repro.errors.NetworkError`) after :meth:`close`, and
+        whatever a fault hook raises when an injected fault drops the
+        message.
         """
         if self._closed:
             raise ChannelClosed("channel %r is closed" % self.name)
         self._validate_endpoints(message)
+        extra_delay = 0.0
+        for fault in list(self._faults):
+            try:
+                penalty = fault(message)
+            except NetworkError:
+                self.messages_dropped += 1
+                raise
+            if penalty:
+                extra_delay += penalty
         for sniffer in self._sniffers:
             sniffer.observe(message)
         self.messages_sent += 1
         wire = self.overhead.wire_bytes_for(message.payload_bytes)
-        elapsed = self.link.transfer_time(wire)
+        elapsed = self.link.transfer_time(wire) + extra_delay
         if self.clock is not None:
             self.clock.advance(elapsed)
         return elapsed
@@ -127,8 +162,12 @@ class Channel:
                 )
 
     def close(self) -> None:
-        """Close the channel; further sends raise ChannelClosed."""
+        """Close the channel; further sends raise :class:`ChannelClosed`."""
         self._closed = True
+
+    def reopen(self) -> None:
+        """Heal a partition: sends succeed again after a :meth:`close`."""
+        self._closed = False
 
     @property
     def closed(self) -> bool:

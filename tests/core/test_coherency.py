@@ -123,6 +123,61 @@ class TestCoherency:
         east_bem.process_block(fid("f"), FragmentMetadata(), lambda: "x")
         assert group.group_hit_ratio() == 0.5
 
+    def test_control_plane_carries_invalidation_traffic(self, group):
+        from repro.network.channel import Channel
+
+        channel = Channel("control", endpoint_a="client", endpoint_b="origin")
+        group.use_control_plane(channel)
+        for name in group.names():
+            bem, _ = group.member(name)
+            bem.process_block(fid("g", u="bob"), FragmentMetadata(), lambda: "x")
+        assert group.invalidate_fragment("g", {"u": "bob"}) == 2
+        assert channel.messages_sent == 2  # one control message per member
+        assert group.dead_letter_flushes == 0
+
+    def test_lost_invalidation_flushes_the_member(self, group):
+        """A dead-lettered control message must never leave a stale copy
+        valid: the group flushes that member's directory instead."""
+        from repro.network.channel import Channel
+
+        channel = Channel("control", endpoint_a="client", endpoint_b="origin")
+        group.use_control_plane(channel)
+        for name in group.names():
+            bem, _ = group.member(name)
+            bem.process_block(fid("g", u="bob"), FragmentMetadata(), lambda: "x")
+        channel.close()  # the control plane partitions
+
+        assert group.invalidate_fragment("g", {"u": "bob"}) == 0
+        assert group.dead_letter_flushes == 2
+        for name in group.names():
+            bem, _ = group.member(name)
+            assert not bem.directory.valid_entries(), name
+
+    def test_control_plane_retries_ride_out_transient_loss(self, group):
+        from repro.errors import MessageDropped
+        from repro.faults.retry import ReliableDelivery, RetryPolicy
+        from repro.network.channel import Channel
+
+        channel = Channel("control", endpoint_a="client", endpoint_b="origin")
+        drops = {"left": 1}
+
+        def drop_once(message):
+            if drops["left"] > 0:
+                drops["left"] -= 1
+                raise MessageDropped("transient")
+            return 0.0
+
+        channel.add_fault(drop_once)
+        group.use_control_plane(
+            channel, delivery=ReliableDelivery(RetryPolicy(max_attempts=3))
+        )
+        for name in group.names():
+            bem, _ = group.member(name)
+            bem.process_block(fid("g", u="bob"), FragmentMetadata(), lambda: "x")
+
+        assert group.invalidate_fragment("g", {"u": "bob"}) == 2
+        assert group.dead_letter_flushes == 0
+
     def test_removed_proxy_stops_observing(self, group):
         db = Database()
         db.create_table(schema("t", [("k", "int"), ("v", "int")]))

@@ -1,0 +1,101 @@
+"""Tests for graceful-degradation modes and their accounting."""
+
+import pytest
+
+from repro.core.bem import BackEndMonitor
+from repro.core.fragments import FragmentID, FragmentMetadata
+from repro.errors import ConfigurationError
+from repro.faults.degradation import DegradationStats, GracefulDegrader
+
+
+def bem_with_entry(ttl=10.0):
+    """A BEM whose directory holds one entry created at t=0 with ``ttl``."""
+    bem = BackEndMonitor(capacity=8)
+    fragment_id = FragmentID("block", (("k", "v"),))
+    bem.directory.insert(
+        fragment_id, FragmentMetadata(ttl=ttl), size_bytes=100, now=0.0
+    )
+    return bem, fragment_id
+
+
+class TestBypassAccounting:
+    def test_bypass_counts_requests_and_bytes(self):
+        degrader = GracefulDegrader()
+        degrader.record_bypass(4000)
+        degrader.record_bypass(6000)
+        assert degrader.stats.bypassed_requests == 2
+        assert degrader.stats.bypass_bytes == 10000
+
+    def test_availability_counts_only_hard_failures(self):
+        degrader = GracefulDegrader()
+        degrader.record_bypass(100)
+        degrader.record_failure()
+        assert degrader.stats.fallback_requests == 2
+        assert degrader.stats.availability(10) == pytest.approx(0.9)
+        assert DegradationStats().availability(0) == 0.0
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GracefulDegrader(grace_s=-1.0)
+
+
+class TestStaleWhileRevalidate:
+    def test_fresh_entry_served_without_stale_accounting(self):
+        bem, fragment_id = bem_with_entry(ttl=10.0)
+        degrader = GracefulDegrader(bem=bem, grace_s=5.0)
+        assert degrader.stale_lookup(fragment_id, now=5.0) is not None
+        assert degrader.stats.stale_hits == 0
+
+    def test_expired_entry_served_within_grace(self):
+        bem, fragment_id = bem_with_entry(ttl=10.0)
+        degrader = GracefulDegrader(bem=bem, grace_s=5.0)
+        entry = degrader.stale_lookup(fragment_id, now=12.0)  # TTL < 12 < TTL+grace
+        assert entry is not None
+        assert degrader.stats.stale_hits == 1
+        assert degrader.stats.stale_bytes == entry.size_bytes
+        assert degrader.drain_refreshes() == [fragment_id]
+        assert degrader.drain_refreshes() == []  # cleared on read
+
+    def test_expired_beyond_grace_is_a_miss(self):
+        bem, fragment_id = bem_with_entry(ttl=10.0)
+        degrader = GracefulDegrader(bem=bem, grace_s=5.0)
+        assert degrader.stale_lookup(fragment_id, now=16.0) is None
+        assert degrader.stats.stale_hits == 0
+
+    def test_zero_grace_disables_stale_serving(self):
+        bem, fragment_id = bem_with_entry(ttl=10.0)
+        degrader = GracefulDegrader(bem=bem)
+        assert degrader.stale_lookup(fragment_id, now=12.0) is None
+
+    def test_untimed_entry_never_goes_stale(self):
+        bem, fragment_id = bem_with_entry(ttl=None)
+        degrader = GracefulDegrader(bem=bem, grace_s=5.0)
+        assert degrader.stale_lookup(fragment_id, now=10**6) is not None
+        assert degrader.stats.stale_hits == 0
+
+    def test_unknown_fragment_is_a_miss(self):
+        bem, _ = bem_with_entry()
+        degrader = GracefulDegrader(bem=bem, grace_s=5.0)
+        assert degrader.stale_lookup(FragmentID("nope"), now=0.0) is None
+
+    def test_invalidated_entry_is_a_miss_even_within_grace(self):
+        bem, fragment_id = bem_with_entry(ttl=10.0)
+        bem.directory.invalidate(fragment_id)
+        degrader = GracefulDegrader(bem=bem, grace_s=5.0)
+        assert degrader.stale_lookup(fragment_id, now=12.0) is None
+
+    def test_revalidate_due_invalidates_stale_entries(self):
+        bem, fragment_id = bem_with_entry(ttl=10.0)
+        degrader = GracefulDegrader(bem=bem, grace_s=5.0)
+        degrader.stale_lookup(fragment_id, now=12.0)
+        assert degrader.revalidate_due() == 1
+        entry = bem.directory.peek(fragment_id)
+        assert entry is None or not entry.is_valid
+        bem.directory.check_invariants()
+
+    def test_stale_lookup_without_bem_is_a_config_error(self):
+        degrader = GracefulDegrader(grace_s=5.0)
+        with pytest.raises(ConfigurationError):
+            degrader.stale_lookup(FragmentID("a"), now=0.0)
+        with pytest.raises(ConfigurationError):
+            GracefulDegrader().revalidate_due()

@@ -1,0 +1,215 @@
+"""Tests for clock-scheduled fault injectors and the schedule driver."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.errors import ConfigurationError, MessageDropped
+from repro.faults.injectors import (
+    CORRUPTION_MODES,
+    ChannelDegradation,
+    ChannelPartition,
+    DirectoryCorruption,
+    DpcCrash,
+    FaultContext,
+    FaultInjector,
+    FaultSchedule,
+    MessageLoss,
+)
+from repro.network.channel import Channel
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.network.message import response_message
+from repro.sites import books
+
+
+def books_context(capacity=64, with_channel=True):
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=capacity, clock=clock)
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=capacity)
+    channel = (
+        Channel("origin-link", endpoint_a="origin", endpoint_b="client")
+        if with_channel
+        else None
+    )
+    ctx = FaultContext(clock=clock, bem=bem, dpc=dpc, channel=channel)
+    return server, ctx
+
+
+def warm(server, ctx, pages=3):
+    for i in range(pages):
+        request = HttpRequest(
+            "/catalog.jsp",
+            {"categoryID": ("Fiction", "Science", "History")[i % 3]},
+            session_id="s",
+        )
+        ctx.dpc.process_response(server.handle(request).body)
+
+
+class TestFaultInjectorBase:
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(at=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(at=0.0, duration=-1.0)
+
+    def test_activation_window_is_half_open(self):
+        fault = FaultInjector(at=2.0, duration=1.0)
+        assert not fault.active(1.99)
+        assert fault.active(2.0)
+        assert fault.active(2.99)
+        assert not fault.active(3.0)
+
+    def test_channel_faults_need_a_channel(self):
+        _, ctx = books_context(with_channel=False)
+        with pytest.raises(ConfigurationError):
+            ChannelPartition(at=0.0, duration=1.0).start(ctx)
+
+
+class TestFaultSchedule:
+    def test_transitions_fire_exactly_once(self):
+        class Counting(FaultInjector):
+            """Counts its own start/stop transitions."""
+
+            starts = 0
+            stops = 0
+
+            def start(self, ctx):
+                """Count a start."""
+                type(self).starts += 1
+
+            def stop(self, ctx):
+                """Count a stop."""
+                type(self).stops += 1
+
+        _, ctx = books_context()
+        schedule = FaultSchedule([Counting(at=1.0, duration=1.0)])
+        for now in (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0):
+            schedule.tick(ctx, now)
+        assert Counting.starts == 1
+        assert Counting.stops == 1
+
+    def test_reset_rearms_injectors(self):
+        _, ctx = books_context()
+        crash = DpcCrash(at=1.0, downtime=0.5)
+        schedule = FaultSchedule([crash])
+        schedule.tick(ctx, 2.0)
+        assert crash.started and crash.stopped
+        schedule.reset()
+        assert not crash.started and not crash.stopped
+
+    def test_proxy_down_reflects_crash_window(self):
+        schedule = FaultSchedule([DpcCrash(at=1.0, downtime=0.5)])
+        assert not schedule.proxy_down(0.9)
+        assert schedule.proxy_down(1.2)
+        assert not schedule.proxy_down(1.5)
+
+
+class TestDpcCrash:
+    def test_crash_wipes_slots_and_bumps_epoch(self):
+        server, ctx = books_context()
+        warm(server, ctx)
+        assert any(ctx.dpc.slot_in_use(k) for k in range(ctx.dpc.capacity))
+        DpcCrash(at=0.0, downtime=1.0).start(ctx)
+        assert not any(ctx.dpc.slot_in_use(k) for k in range(ctx.dpc.capacity))
+        assert ctx.dpc.epoch == 1
+
+
+class TestChannelFaults:
+    def test_partition_closes_then_reopens(self):
+        _, ctx = books_context()
+        fault = ChannelPartition(at=0.0, duration=1.0)
+        fault.start(ctx)
+        assert ctx.channel.closed
+        fault.stop(ctx)
+        assert not ctx.channel.closed
+
+    def test_degradation_adds_delay_only_while_active(self):
+        _, ctx = books_context()
+        fault = ChannelDegradation(at=0.0, duration=1.0, extra_delay_s=0.2)
+        message = response_message(10)
+        baseline = ctx.channel.send(message)
+        fault.start(ctx)
+        degraded = ctx.channel.send(message)
+        fault.stop(ctx)
+        healed = ctx.channel.send(message)
+        assert degraded == pytest.approx(baseline + 0.2)
+        assert healed == pytest.approx(baseline)
+
+    def test_degradation_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            ChannelDegradation(at=0.0, duration=1.0, extra_delay_s=-0.1)
+
+    def test_message_loss_is_seeded_and_probabilistic(self):
+        def drops(seed):
+            _, ctx = books_context()
+            fault = MessageLoss(at=0.0, duration=1.0, drop_probability=0.5, seed=seed)
+            fault.start(ctx)
+            dropped = 0
+            for _ in range(100):
+                try:
+                    ctx.channel.send(response_message(10))
+                except MessageDropped:
+                    dropped += 1
+            return dropped
+
+        assert drops(3) == drops(3)  # deterministic
+        assert 20 < drops(3) < 80    # actually probabilistic
+
+    def test_message_loss_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            MessageLoss(at=0.0, duration=1.0, drop_probability=1.5)
+
+
+class TestDirectoryCorruption:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectoryCorruption(at=0.0, mode="set_fire")
+        with pytest.raises(ConfigurationError):
+            DirectoryCorruption(at=0.0, count=0)
+
+    def test_flip_valid_breaks_slot_discipline(self):
+        server, ctx = books_context()
+        warm(server, ctx)
+        fault = DirectoryCorruption(at=0.0, mode="flip_valid", count=2, seed=1)
+        fault.start(ctx)
+        assert fault.corrupted == 2
+        with pytest.raises(AssertionError):
+            ctx.directory.check_invariants()
+
+    def test_leak_key_shrinks_the_free_list(self):
+        server, ctx = books_context()
+        warm(server, ctx)
+        before = len(ctx.directory.free_list)
+        fault = DirectoryCorruption(at=0.0, mode="leak_key", count=3, seed=1)
+        fault.start(ctx)
+        assert len(ctx.directory.free_list) == before - 3
+
+    def test_drop_slot_desyncs_dpc_from_directory(self):
+        server, ctx = books_context()
+        warm(server, ctx)
+        fault = DirectoryCorruption(at=0.0, mode="drop_slot", count=2, seed=1)
+        fault.start(ctx)
+        empty = [
+            e for e in ctx.directory.valid_entries()
+            if not ctx.dpc.slot_in_use(e.dpc_key)
+        ]
+        assert len(empty) == 2
+
+    def test_corruption_is_seeded(self):
+        def victims(seed):
+            server, ctx = books_context()
+            warm(server, ctx)
+            fault = DirectoryCorruption(at=0.0, mode="flip_valid", count=3, seed=seed)
+            fault.start(ctx)
+            return sorted(
+                e.dpc_key for e in ctx.directory._entries.values() if not e.is_valid
+            )
+
+        assert victims(9) == victims(9)
+
+    def test_modes_tuple_is_exhaustive(self):
+        assert set(CORRUPTION_MODES) == {"flip_valid", "leak_key", "drop_slot"}

@@ -1,0 +1,210 @@
+"""Tests for the BEM↔DPC resync protocol."""
+
+import pytest
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.errors import AssemblyError, RecoveryError
+from repro.faults.injectors import DirectoryCorruption, FaultContext
+from repro.faults.recovery import ResyncProtocol
+from repro.harness.monitoring import take_snapshot
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books
+
+
+def books_stack(capacity=64):
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=capacity, clock=clock)
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=capacity)
+    return server, bem, dpc
+
+
+def requests(count=6):
+    return [
+        HttpRequest(
+            "/catalog.jsp",
+            {"categoryID": ("Fiction", "Science", "History")[i % 3]},
+            session_id="s",
+        )
+        for i in range(count)
+    ]
+
+
+def warm(server, dpc, count=6):
+    for request in requests(count):
+        dpc.process_response(server.handle(request).body)
+
+
+class TestEpochResync:
+    def test_observe_matching_epoch_is_a_noop(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        resync = ResyncProtocol(bem, dpc)
+        assert resync.observe_epoch(dpc.epoch) is None
+        assert resync.stats.epoch_resyncs == 0
+
+    def test_crash_epoch_detected_and_resynced(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        valid_before = len(bem.directory.valid_entries())
+        assert valid_before > 0
+
+        dpc.clear()  # cold restart: slots wiped, epoch bumped
+        resync = ResyncProtocol(bem, dpc)
+        event = resync.observe_epoch(dpc.epoch, now=1.0)
+
+        assert event is not None and event.kind == "epoch_resync"
+        assert event.entries_dropped == valid_before
+        assert bem.epoch == dpc.epoch == 1
+        assert not bem.directory.valid_entries()
+        bem.directory.check_invariants()
+
+    def test_service_is_correct_after_resync(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        dpc.clear()
+        ResyncProtocol(bem, dpc).resync(dpc.epoch)
+        for request in requests():
+            page = dpc.process_response(server.handle(request).body)
+            assert page.html == server.render_reference_page(request)
+
+    def test_resync_preserves_post_restart_entries(self):
+        """Entries inserted after the restart carry the new epoch and must
+        survive a late resync triggered by old traffic."""
+        server, bem, dpc = books_stack()
+        warm(server, dpc, count=3)
+        dpc.clear()
+        resync = ResyncProtocol(bem, dpc)
+        resync.resync(dpc.epoch)
+        warm(server, dpc, count=3)  # re-warm at the new epoch
+        survivors = len(bem.directory.valid_entries())
+        assert survivors > 0
+        resync.resync(dpc.epoch)  # idempotent at the same epoch
+        assert len(bem.directory.valid_entries()) == survivors
+
+    def test_backwards_resync_refused(self):
+        server, bem, dpc = books_stack()
+        bem.epoch = 3
+        with pytest.raises(RecoveryError):
+            ResyncProtocol(bem, dpc).resync(1)
+
+    def test_recover_dispatches_on_epoch_mismatch(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        dpc.clear()
+        with pytest.raises(AssemblyError):
+            # Fail-stop fires first: the BEM still emits GETs.
+            dpc.process_response(server.handle(requests()[0]).body)
+        resync = ResyncProtocol(bem, dpc)
+        event = resync.recover(now=2.0)
+        assert event.kind == "epoch_resync"
+        page = dpc.process_response(server.handle(requests()[0]).body)
+        assert page.html == server.render_reference_page(requests()[0])
+
+
+class TestAntiEntropy:
+    def ctx(self, server, bem, dpc):
+        return FaultContext(clock=SimulatedClock(), bem=bem, dpc=dpc)
+
+    def test_sweep_on_healthy_deployment_drops_nothing(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        valid = len(bem.directory.valid_entries())
+        event = ResyncProtocol(bem, dpc).anti_entropy()
+        assert event.entries_dropped == 0
+        assert len(bem.directory.valid_entries()) == valid
+
+    def test_sweep_repairs_flip_valid_corruption(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        DirectoryCorruption(at=0.0, mode="flip_valid", count=3, seed=1).start(
+            self.ctx(server, bem, dpc)
+        )
+        resync = ResyncProtocol(bem, dpc)
+        resync.anti_entropy()
+        bem.directory.check_invariants()
+        assert resync.stats.discipline_repairs > 0
+        for request in requests():
+            page = dpc.process_response(server.handle(request).body)
+            assert page.html == server.render_reference_page(request)
+
+    def test_sweep_drops_entries_with_empty_slots(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        DirectoryCorruption(at=0.0, mode="drop_slot", count=3, seed=1).start(
+            self.ctx(server, bem, dpc)
+        )
+        event = ResyncProtocol(bem, dpc).anti_entropy()
+        assert event.entries_dropped == 3
+        bem.directory.check_invariants()
+
+    def test_sweep_reclaims_leaked_keys(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        before = len(bem.directory.free_list)
+        DirectoryCorruption(at=0.0, mode="leak_key", count=3, seed=1).start(
+            self.ctx(server, bem, dpc)
+        )
+        assert len(bem.directory.free_list) == before - 3
+        resync = ResyncProtocol(bem, dpc)
+        resync.anti_entropy()
+        assert len(bem.directory.free_list) == before
+        assert resync.stats.keys_reclaimed >= 3
+
+
+class TestQuarantine:
+    def test_undelivered_sets_are_invalidated(self):
+        server, bem, dpc = books_stack()
+        request = requests()[0]
+        wire = server.handle(request).body  # template never reaches the DPC
+        assert bem.directory.valid_entries()  # BEM already recorded the SETs
+
+        resync = ResyncProtocol(bem, dpc)
+        event = resync.quarantine_undelivered(wire)
+
+        assert event.kind == "quarantine"
+        assert event.entries_dropped > 0
+        assert not bem.directory.valid_entries()
+        # The next attempt regenerates and serves correctly.
+        page = dpc.process_response(server.handle(request).body)
+        assert page.html == server.render_reference_page(request)
+
+    def test_quarantine_closes_the_recycled_key_hole(self):
+        """A lost template whose SETs reused recycled keys must not let a
+        later GET serve the predecessor fragment's bytes."""
+        server, bem, dpc = books_stack(capacity=2)
+        resync = ResyncProtocol(bem, dpc)
+        for i, request in enumerate(requests(8)):
+            wire = server.handle(request).body
+            if i == 5:
+                resync.quarantine_undelivered(wire)  # this delivery was lost
+                continue
+            page = dpc.process_response(wire)
+            assert page.html == server.render_reference_page(request)
+
+
+class TestObservability:
+    def test_snapshot_includes_recovery_rows(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        dpc.clear()
+        resync = ResyncProtocol(bem, dpc)
+        resync.recover(now=1.0)
+        snapshot = take_snapshot(bem=bem, dpc=dpc, recovery=resync)
+        assert snapshot.get("recovery.epoch_resyncs") == 1
+        assert snapshot.get("recovery.synced_epoch") == 1
+
+    def test_events_accumulate_for_postmortems(self):
+        server, bem, dpc = books_stack()
+        warm(server, dpc)
+        resync = ResyncProtocol(bem, dpc)
+        resync.anti_entropy(now=1.0)
+        dpc.clear()
+        resync.recover(now=2.0)
+        kinds = [event.kind for event in resync.stats.events]
+        assert kinds == ["anti_entropy", "epoch_resync"]
+        assert [event.at for event in resync.stats.events] == [1.0, 2.0]

@@ -1,0 +1,127 @@
+"""Tests for the seeded retry/backoff discipline."""
+
+import random
+
+import pytest
+
+from repro.errors import ChannelClosed, ConfigurationError, DeliveryTimeoutError
+from repro.faults.retry import DeliveryStats, ReliableDelivery, RetryPolicy
+from repro.network.clock import SimulatedClock
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_for(k, rng) for k in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, max_delay_s=3.0, jitter=0.0
+        )
+        assert policy.delay_for(5, random.Random(0)) == pytest.approx(3.0)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+        rng = random.Random(42)
+        for _ in range(200):
+            delay = policy.delay_for(0, rng)
+            assert 0.75 <= delay <= 1.25
+
+    def test_same_seed_same_delays(self):
+        policy = RetryPolicy(jitter=0.3)
+        a = [policy.delay_for(k, random.Random(7)) for k in range(3)]
+        b = [policy.delay_for(k, random.Random(7)) for k in range(3)]
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay_for(-1, random.Random(0))
+
+
+class FlakySend:
+    """A send thunk that fails the first ``failures`` times."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ChannelClosed("flaky")
+        return "delivered"
+
+
+class TestReliableDelivery:
+    def test_first_try_success_needs_no_backoff(self):
+        delivery = ReliableDelivery()
+        assert delivery.deliver(FlakySend(0)) == "delivered"
+        assert delivery.stats.attempts == 1
+        assert delivery.stats.retries == 0
+        assert delivery.stats.total_backoff_s == 0.0
+
+    def test_transient_failure_is_retried(self):
+        delivery = ReliableDelivery(RetryPolicy(max_attempts=4))
+        send = FlakySend(2)
+        assert delivery.deliver(send) == "delivered"
+        assert send.calls == 3
+        assert delivery.stats.retries == 2
+        assert delivery.stats.deliveries == 1
+
+    def test_exhausted_attempts_dead_letter(self):
+        delivery = ReliableDelivery(RetryPolicy(max_attempts=3))
+        send = FlakySend(99)
+        with pytest.raises(DeliveryTimeoutError) as excinfo:
+            delivery.deliver(send)
+        assert send.calls == 3
+        assert delivery.stats.dead_letters == 1
+        assert isinstance(excinfo.value.__cause__, ChannelClosed)
+
+    def test_backoff_advances_the_virtual_clock(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.1, jitter=0.0)
+        delivery = ReliableDelivery(policy, clock=clock)
+        delivery.deliver(FlakySend(2))
+        # Two backoffs: 0.1 then 0.2.
+        assert clock.now() == pytest.approx(0.3)
+        assert delivery.stats.total_backoff_s == pytest.approx(0.3)
+
+    def test_no_backoff_after_the_final_attempt(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.1, jitter=0.0)
+        delivery = ReliableDelivery(policy, clock=clock)
+        with pytest.raises(DeliveryTimeoutError):
+            delivery.deliver(FlakySend(99))
+        assert clock.now() == pytest.approx(0.1)
+
+    def test_seeded_delivery_is_deterministic(self):
+        def run(seed):
+            delivery = ReliableDelivery(
+                RetryPolicy(max_attempts=4, jitter=0.5), seed=seed
+            )
+            delivery.deliver(FlakySend(3))
+            return delivery.stats.total_backoff_s
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_first_try_ratio(self):
+        stats = DeliveryStats(deliveries=4, retries=1)
+        assert stats.first_try_ratio == pytest.approx(0.75)
+        assert DeliveryStats().first_try_ratio == 0.0

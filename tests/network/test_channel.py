@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ChannelClosed, ConfigurationError
+from repro.errors import ChannelClosed, ConfigurationError, MessageDropped, NetworkError
 from repro.network.channel import Channel, LinkParameters
 from repro.network.clock import SimulatedClock
 from repro.network.message import ProtocolOverheadModel, WireMessage, response_message
@@ -87,3 +87,79 @@ class TestChannel:
             response_message(500, source="origin", destination="external")
         )
         assert elapsed == pytest.approx(0.5)
+
+
+class TestChannelReopen:
+    def test_send_after_close_raises_typed_network_error(self):
+        channel = make_channel()
+        channel.close()
+        with pytest.raises(NetworkError):
+            channel.send(response_message(10, source="origin", destination="external"))
+        assert channel.messages_sent == 0
+
+    def test_reopen_heals_a_partition(self):
+        channel = make_channel()
+        channel.close()
+        channel.reopen()
+        assert not channel.closed
+        channel.send(response_message(10, source="origin", destination="external"))
+        assert channel.messages_sent == 1
+
+    def test_reopen_is_idempotent(self):
+        channel = make_channel()
+        channel.reopen()
+        channel.reopen()
+        channel.send(response_message(10, source="origin", destination="external"))
+        assert channel.messages_sent == 1
+
+
+class TestChannelFaultHooks:
+    def test_raising_hook_drops_the_message(self):
+        channel = make_channel()
+
+        def drop(message):
+            raise MessageDropped("injected")
+
+        channel.add_fault(drop)
+        with pytest.raises(MessageDropped):
+            channel.send(response_message(10, source="origin", destination="external"))
+        assert channel.messages_dropped == 1
+        assert channel.messages_sent == 0
+
+    def test_dropped_message_never_reaches_sniffers(self):
+        channel = make_channel()
+        sniffer = channel.attach_sniffer()
+
+        def drop(message):
+            raise MessageDropped("injected")
+
+        channel.add_fault(drop)
+        with pytest.raises(MessageDropped):
+            channel.send(response_message(10, source="origin", destination="external"))
+        assert sniffer.response_payload_bytes == 0
+
+    def test_delay_hook_adds_transfer_time(self):
+        clock = SimulatedClock()
+        channel = make_channel(
+            clock=clock,
+            link=LinkParameters(latency_s=0.01, bandwidth_bytes_per_s=0.0),
+        )
+        channel.add_fault(lambda message: 0.5)
+        elapsed = channel.send(
+            response_message(10, source="origin", destination="external")
+        )
+        assert elapsed == pytest.approx(0.51)
+        assert clock.now() == pytest.approx(0.51)
+
+    def test_remove_fault_restores_the_link(self):
+        channel = make_channel()
+
+        def drop(message):
+            raise MessageDropped("injected")
+
+        channel.add_fault(drop)
+        channel.remove_fault(drop)
+        channel.remove_fault(drop)  # removing twice is harmless
+        channel.send(response_message(10, source="origin", destination="external"))
+        assert channel.messages_sent == 1
+        assert channel.messages_dropped == 0

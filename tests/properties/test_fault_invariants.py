@@ -1,0 +1,128 @@
+"""Property: slot discipline and correctness survive faults and recovery.
+
+Three families of random schedules, all seeded through hypothesis:
+crash/flush cycles interleaved with traffic, directory corruption followed
+by anti-entropy repair, and epoch resync after cold restarts.  After every
+recovery action the directory must satisfy the slot-discipline invariant
+(every dpcKey free XOR backing exactly one valid entry) and continue to
+serve byte-correct pages.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appserver import HttpRequest
+from repro.core.bem import BackEndMonitor
+from repro.core.dpc import DynamicProxyCache
+from repro.errors import AssemblyError
+from repro.faults.injectors import CORRUPTION_MODES, DirectoryCorruption, FaultContext
+from repro.faults.recovery import ResyncProtocol
+from repro.network.clock import SimulatedClock
+from repro.network.latency import FREE
+from repro.sites import books
+
+CATEGORIES = ("Fiction", "Science", "History")
+
+
+def books_stack(capacity):
+    clock = SimulatedClock()
+    bem = BackEndMonitor(capacity=capacity, clock=clock)
+    server = books.build_server(clock=clock, bem=bem, cost_model=FREE)
+    bem.attach_database(server.services.db.bus)
+    dpc = DynamicProxyCache(capacity=capacity)
+    return server, bem, dpc
+
+
+def serve(server, dpc, index):
+    request = HttpRequest(
+        "/catalog.jsp",
+        {"categoryID": CATEGORIES[index % len(CATEGORIES)]},
+        session_id="s%d" % (index % 2),
+    )
+    page = dpc.process_response(server.handle(request).body)
+    assert page.html == server.render_reference_page(request)
+
+
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("serve"), st.integers(0, 11)),
+        st.tuples(st.just("crash"), st.integers(0, 0)),
+        st.tuples(st.just("flush"), st.integers(0, 0)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(events, st.integers(2, 16))
+@settings(max_examples=60, deadline=None)
+def test_slot_discipline_across_crash_and_flush(schedule, capacity):
+    """Random crash/flush/traffic interleavings: recovery always restores
+    slot discipline and correct service."""
+    server, bem, dpc = books_stack(capacity)
+    resync = ResyncProtocol(bem, dpc)
+    for kind, index in schedule:
+        if kind == "serve":
+            try:
+                serve(server, dpc, index)
+            except AssemblyError:
+                resync.recover()
+                serve(server, dpc, index)  # must succeed after recovery
+        elif kind == "crash":
+            dpc.clear()
+        else:  # flush: the paper's documented restart protocol half
+            bem.flush()
+        bem.directory.check_invariants()
+    resync.recover()
+    bem.directory.check_invariants()
+    assert bem.directory.valid_count() + len(bem.directory.free_list) == capacity
+
+
+@given(
+    st.sampled_from(sorted(CORRUPTION_MODES)),
+    st.integers(1, 8),
+    st.integers(0, 1000),
+    st.integers(4, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_anti_entropy_repairs_any_corruption(mode, count, seed, capacity):
+    """Every corruption mode, any victim choice: one sweep restores the
+    invariant and correct service resumes."""
+    server, bem, dpc = books_stack(capacity)
+    for index in range(6):
+        serve(server, dpc, index)
+    ctx = FaultContext(clock=SimulatedClock(), bem=bem, dpc=dpc)
+    DirectoryCorruption(at=0.0, mode=mode, count=count, seed=seed).start(ctx)
+
+    resync = ResyncProtocol(bem, dpc)
+    resync.anti_entropy()
+
+    bem.directory.check_invariants()
+    assert bem.directory.valid_count() + len(bem.directory.free_list) == capacity
+    for index in range(6):
+        try:
+            serve(server, dpc, index)
+        except AssemblyError:
+            resync.recover()
+            serve(server, dpc, index)
+
+
+@given(st.integers(1, 4), st.integers(2, 12))
+@settings(max_examples=40, deadline=None)
+def test_epoch_resync_after_repeated_restarts(restarts, capacity):
+    """N cold restarts in a row: the epoch protocol converges and never
+    strands a pre-restart entry as valid."""
+    server, bem, dpc = books_stack(capacity)
+    resync = ResyncProtocol(bem, dpc)
+    for round_index in range(restarts):
+        for index in range(4):
+            serve(server, dpc, index + round_index)
+        dpc.clear()
+        resync.observe_epoch(dpc.epoch)
+        assert bem.epoch == dpc.epoch == round_index + 1
+        assert all(
+            entry.epoch == bem.epoch for entry in bem.directory.valid_entries()
+        )
+        bem.directory.check_invariants()
+    for index in range(4):
+        serve(server, dpc, index)

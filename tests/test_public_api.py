@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.cms",
     "repro.core",
     "repro.database",
+    "repro.faults",
     "repro.harness",
     "repro.network",
     "repro.sites",
