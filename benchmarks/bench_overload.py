@@ -1,0 +1,176 @@
+"""Overload: outcome time-series through a 10x flash crowd, DPC vs no-cache.
+
+Not a paper figure — the paper's Section 6 measures steady-state
+throughput, and its flash-crowd motivation (Section 1) is exactly the
+regime where a steady-state bench is blind.  This bench replays one
+seeded flash crowd through the ``repro.overload`` machinery twice — once
+against the DPC deployment, once against the caching-disabled baseline —
+and charts per-bucket completions, sheds, timeouts, queue depth, and p99
+for both.  The protected DPC sheds origin-bound work gracefully (bounded
+tail latency, zero incorrect pages, predicted hits never shed) while the
+baseline saturates its bounded queues and collapses into rejections and
+deadline misses.
+
+Run directly for a quick look:  python benchmarks/bench_overload.py --smoke
+"""
+
+import argparse
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.harness.testbed import TestbedConfig
+from repro.overload import CircuitBreaker, CoDelPolicy, OverloadConfig, run_overload
+from repro.sites.synthetic import SyntheticParams
+from repro.workload import FlashCrowdProcess
+
+REQUESTS = 600
+WARMUP = 100
+BUCKET = 50
+DEADLINE_S = 1.5
+BASE_RATE = 6.0
+MULTIPLIER = 10.0
+SEED = 11
+
+
+def overload_config(mode, requests=REQUESTS, warmup=WARMUP):
+    params = SyntheticParams(
+        num_pages=10, fragments_per_page=4, fragment_size=2048,
+        cacheability=0.75,
+    )
+    testbed = TestbedConfig(
+        mode=mode, synthetic=params, target_hit_ratio=0.9,
+        requests=requests, warmup_requests=warmup, seed=SEED,
+        arrivals=FlashCrowdProcess(
+            base_rate=BASE_RATE, multiplier=MULTIPLIER, burst_at=20.0,
+            hold_s=5.0, decay_s=2.0, deterministic=True,
+        ),
+    )
+    dpc_mode = mode == "dpc"
+    return OverloadConfig(
+        testbed=testbed,
+        deadline_s=DEADLINE_S,
+        policy=CoDelPolicy(target_s=0.05, interval_s=0.5) if dpc_mode else None,
+        breaker=CircuitBreaker(failure_threshold=5, open_s=1.0)
+        if dpc_mode else None,
+        bucket_requests=BUCKET,
+        correctness_every=1 if dpc_mode else 0,
+    )
+
+
+def paired_runs(requests=REQUESTS, warmup=WARMUP):
+    protected = run_overload(overload_config("dpc", requests, warmup))
+    baseline = run_overload(overload_config("no_cache", requests, warmup))
+    return protected, baseline
+
+
+def series_rows(protected, baseline):
+    rows = []
+    for dpc_bucket, base_bucket in zip(protected.buckets, baseline.buckets):
+        rows.append([
+            "%.2f" % dpc_bucket.start_time,
+            "%d" % dpc_bucket.completed,
+            "%d" % (dpc_bucket.shed + dpc_bucket.timed_out),
+            "%.3f" % dpc_bucket.p99,
+            "%d" % dpc_bucket.queue_depth,
+            "%d" % base_bucket.completed,
+            "%d" % (base_bucket.shed + base_bucket.timed_out),
+            "%.3f" % base_bucket.p99,
+            "%d" % base_bucket.queue_depth,
+        ])
+    return rows
+
+
+def summary_rows(protected, baseline):
+    def column(result):
+        return [
+            "%d" % result.offered,
+            "%d" % result.completed_fresh,
+            "%d" % result.completed_stale,
+            "%d" % result.shed,
+            "%d" % result.timed_out,
+            "%d" % result.hits_shed,
+            "%.3f" % result.p50(),
+            "%.3f" % result.p99(),
+            "%d" % result.ledger.count("queue_full"),
+            "%d" % result.ledger.count("deadline_exceeded"),
+            "%d" % result.ledger.count("policy_shed"),
+            "%d" % result.incorrect_pages,
+        ]
+
+    metrics = [
+        "offered", "fresh", "stale", "shed", "timed out", "hits shed",
+        "p50 (s)", "p99 (s)", "drop: queue full", "drop: deadline",
+        "drop: policy", "incorrect pages",
+    ]
+    dpc_col = column(protected)
+    base_col = column(baseline)
+    return [[m, d, b] for m, d, b in zip(metrics, dpc_col, base_col)]
+
+
+SERIES_HEADERS = [
+    "t (s)", "dpc ok", "dpc fail", "dpc p99", "dpc depth",
+    "base ok", "base fail", "base p99", "base depth",
+]
+
+
+def check(protected, baseline):
+    """The acceptance-level assertions both entry points share."""
+    assert protected.conserved and baseline.conserved
+    assert protected.incorrect_pages == 0
+    assert protected.hits_shed == 0
+    assert protected.p99() <= DEADLINE_S
+    assert baseline.ledger.count("queue_full") > 0
+    assert protected.completed > baseline.completed
+
+
+def test_flash_crowd_overload(benchmark, report):
+    protected, baseline = benchmark.pedantic(paired_runs, rounds=1, iterations=1)
+
+    report(
+        "Flash crowd %gx at t=20s (deadline %.1fs): per-bucket outcomes"
+        % (MULTIPLIER, DEADLINE_S),
+        SERIES_HEADERS,
+        series_rows(protected, baseline),
+    )
+    report(
+        "Overload summary (DPC vs no-cache baseline)",
+        ["metric", "dpc", "no cache"],
+        summary_rows(protected, baseline),
+    )
+
+    check(protected, baseline)
+    # Determinism: the same seeded config reproduces the exact series.
+    rerun = run_overload(overload_config("dpc"))
+    assert rerun.series() == protected.series()
+
+
+def main(argv=None):
+    from repro.harness.reporting import format_table
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrink the run for CI smoke budgets",
+    )
+    args = parser.parse_args(argv)
+    requests, warmup = (250, 50) if args.smoke else (REQUESTS, WARMUP)
+
+    protected, baseline = paired_runs(requests, warmup)
+    print("=== Flash crowd %gx: per-bucket outcomes ===" % MULTIPLIER)
+    print(format_table(SERIES_HEADERS, series_rows(protected, baseline)))
+    print()
+    print("=== Overload summary (DPC vs no-cache baseline) ===")
+    print(format_table(["metric", "dpc", "no cache"],
+                       summary_rows(protected, baseline)))
+    check(protected, baseline)
+    print()
+    print("overload bench OK: conservation, correctness, and hit protection hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,13 +20,19 @@ See README.md for the architecture tour and DESIGN.md for the module map.
 __version__ = "1.0.0"
 
 from . import analysis, appserver, baselines, cms, core, database, faults
-from . import harness, network, sites, workload
+from . import harness, network, overload, sites, workload
 from .errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     DeliveryTimeoutError,
     FaultError,
+    OverloadError,
+    ProtocolError,
     ProxyUnavailableError,
+    QueueFullError,
     RecoveryError,
     ReproError,
+    RequestShedError,
 )
 
 __all__ = [
@@ -39,12 +45,19 @@ __all__ = [
     "faults",
     "harness",
     "network",
+    "overload",
     "sites",
     "workload",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "DeliveryTimeoutError",
     "FaultError",
+    "OverloadError",
+    "ProtocolError",
     "ProxyUnavailableError",
+    "QueueFullError",
     "RecoveryError",
     "ReproError",
+    "RequestShedError",
     "__version__",
 ]

@@ -36,12 +36,29 @@ class HttpRequest:
     session_id: Optional[str] = None
     method: str = "GET"
     header_bytes: int = DEFAULT_REQUEST_HEADER_BYTES
+    #: Virtual instant the request entered the system (set by the workload
+    #: generator).  Bounded queues schedule against this, not against the
+    #: drifting shared clock, so c-server queueing is modeled honestly.
+    arrived_at: Optional[float] = None
+    #: Absolute virtual deadline propagated from the client through proxy
+    #: and origin.  ``None`` means "no deadline" (the pre-overload default).
+    deadline_at: Optional[float] = None
+    #: Queue priority (> 0 reaches capacity a ``priority``-discipline
+    #: bounded queue reserves).  The proxy marks predicted cache hits
+    #: priority so cheap traffic keeps flowing through a flash crowd.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if not self.path.startswith("/"):
             raise ConfigurationError("request path must start with '/'")
         if self.header_bytes < 0:
             raise ConfigurationError("header_bytes cannot be negative")
+        if (
+            self.arrived_at is not None
+            and self.deadline_at is not None
+            and self.deadline_at < self.arrived_at
+        ):
+            raise ConfigurationError("deadline cannot precede arrival")
 
     @property
     def url(self) -> str:

@@ -20,7 +20,7 @@ from typing import Optional
 from ..core.bem import BackEndMonitor
 from ..core.tagging import PageBuilder
 from ..core.template import DEFAULT_CONFIG, TemplateConfig
-from ..errors import ScriptError
+from ..errors import DeadlineExceededError, OverloadError, ScriptError
 from ..network.clock import SimulatedClock
 from ..network.latency import GenerationCostModel
 from .http import DEFAULT_RESPONSE_HEADER_BYTES, HttpRequest, HttpResponse
@@ -39,8 +39,17 @@ class ApplicationServer:
         cost_model: Optional[GenerationCostModel] = None,
         response_header_bytes: int = DEFAULT_RESPONSE_HEADER_BYTES,
         template_config: TemplateConfig = DEFAULT_CONFIG,
+        queue=None,
+        db_queue=None,
     ) -> None:
         self.services = services
+        #: Optional :class:`repro.overload.queues.BoundedQueue` in front of
+        #: request dispatch (duck-typed to avoid an import cycle).  ``None``
+        #: keeps the paper's infinite-capacity origin.
+        self.queue = queue
+        #: Optional bounded queue modeling the DBMS connection pool; its
+        #: service demand is the request's database share of generation.
+        self.db_queue = db_queue
         self.clock = clock if clock is not None else (
             bem.clock if bem is not None else SimulatedClock()
         )
@@ -71,10 +80,21 @@ class ApplicationServer:
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Serve one request end-to-end at the origin.
 
-        Advances the shared clock by the generation time, so TTLs expire
-        under load exactly as they would on a busy real server.
+        Advances the shared clock by the generation time (plus any modeled
+        queueing delay), so TTLs expire under load exactly as they would on
+        a busy real server.  With bounded queues attached, arrivals that
+        find a full waiting room raise
+        :class:`~repro.errors.QueueFullError`, and arrivals whose scheduled
+        service start already misses their deadline raise
+        :class:`~repro.errors.DeadlineExceededError` — both *before* any
+        script work runs, so rejections have no side effects.
         """
         script = self.scripts.resolve(request.path)
+        arrival = (
+            request.arrived_at if request.arrived_at is not None
+            else self.clock.now()
+        )
+        self._screen_admission(arrival, request.deadline_at, request.priority)
         session = self.sessions.resolve(request.session_id, request.user_id)
         builder = PageBuilder(
             self.services.tags, bem=self.bem, template_config=self.template_config
@@ -87,21 +107,41 @@ class ApplicationServer:
             cost_model=self.cost_model,
             bem=self.bem,
         )
+        rows_before = self.services.db.total_rows_read()
+        if self.bem is not None:
+            self.bem.deadline_at = request.deadline_at
         try:
             script.run(ctx)
         except Exception as exc:
-            if isinstance(exc, ScriptError):
+            if isinstance(exc, (ScriptError, OverloadError)):
                 raise
             raise ScriptError(
                 "script %r failed: %s" % (request.path, exc)
             ) from exc
+        finally:
+            if self.bem is not None:
+                self.bem.deadline_at = None
 
         template = builder.finish()
         if self.emit_templates:
             body = template.serialize()
         else:
             body = builder.full_page()
-        self.clock.advance(ctx.generation_cost_s)
+        app_wait_s = db_wait_s = 0.0
+        if self.queue is not None:
+            app_wait_s = self.queue.offer(
+                arrival, ctx.generation_cost_s, request.priority
+            ).wait_s
+        if self.db_queue is not None:
+            db_rows = self.services.db.total_rows_read() - rows_before
+            db_service_s = (
+                self.cost_model.db_connection_wait_s
+                + db_rows * self.cost_model.db_row_cost_s
+            )
+            db_wait_s = self.db_queue.offer(
+                arrival, db_service_s, request.priority
+            ).wait_s
+        self.clock.advance(ctx.generation_cost_s + app_wait_s + db_wait_s)
         self.requests_served += 1
         self.total_generation_s += ctx.generation_cost_s
 
@@ -109,6 +149,8 @@ class ApplicationServer:
             body=body,
             header_bytes=self.response_header_bytes,
             meta={
+                "app_wait_s": app_wait_s,
+                "db_wait_s": db_wait_s,
                 "mode": (
                     "dpc"
                     if self.emit_templates
@@ -125,6 +167,29 @@ class ApplicationServer:
                 "set_count": template.set_count,
             },
         )
+
+    def _screen_admission(
+        self, arrival: float, deadline_at: Optional[float], priority: int = 0
+    ) -> None:
+        """Reject doomed arrivals before any script work runs.
+
+        Queue-full and already-hopeless-deadline arrivals are turned away
+        at the door: no script executes, no directory entry is inserted,
+        no SET is emitted — so a rejection can never desynchronize the
+        BEM and DPC.
+        """
+        latest_start = arrival
+        for queue in (self.queue, self.db_queue):
+            if queue is None:
+                continue
+            if queue.full(arrival, priority):
+                queue.reject(arrival)
+            latest_start = max(latest_start, queue.next_start(arrival))
+        if deadline_at is not None and latest_start >= deadline_at:
+            raise DeadlineExceededError(
+                "service would start at %.6f, past the %.6f deadline"
+                % (latest_start, deadline_at)
+            )
 
     def render_reference_page(self, request: HttpRequest) -> str:
         """Oracle: the page this request *should* produce, uncached.

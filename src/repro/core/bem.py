@@ -50,6 +50,10 @@ class BemStats:
     bytes_served_from_dpc: int = 0  # fragment bytes replaced by GET tags
     object_hits: int = 0
     object_misses: int = 0
+    #: Fragments served past TTL (within the degrader's grace window)
+    #: because the request was already past its deadline — regeneration
+    #: was skipped to bound latency, at a bounded correctness cost.
+    stale_fragment_serves: int = 0
 
     @property
     def fragment_hit_ratio(self) -> float:
@@ -140,6 +144,14 @@ class BackEndMonitor:
         #: (:mod:`repro.faults.recovery`) advances it when it observes a
         #: restarted proxy and drops entries stamped with older epochs.
         self.epoch = 0
+        #: Transient per-request deadline (absolute virtual time), set by
+        #: the application server around script execution.  ``None`` means
+        #: no deadline pressure — the pre-overload behavior.
+        self.deadline_at: Optional[float] = None
+        #: Duck-typed :class:`repro.faults.degradation.GracefulDegrader`
+        #: (anything exposing ``stale_lookup(fragment_id, now)``); enables
+        #: the late-request stale-fragment fallback.
+        self._degrader = None
 
     @classmethod
     def with_policy(cls, capacity: int, policy_name: str, **kwargs) -> "BackEndMonitor":
@@ -169,6 +181,25 @@ class BackEndMonitor:
             return Literal(content)
 
         self.stats.cacheable_blocks += 1
+        if (
+            self._degrader is not None
+            and self.deadline_at is not None
+            and now >= self.deadline_at
+        ):
+            # The request is already late: a full regeneration can only
+            # make it later.  Prefer whatever the directory still holds —
+            # fresh, or TTL-expired within the degrader's grace window.
+            # Checked via the non-mutating stale probe *before* lookup()
+            # so lazy TTL expiry cannot free the slot out from under the
+            # GET we are about to emit.
+            stale = self._degrader.stale_lookup(fragment_id, now)
+            if stale is not None:
+                if stale.fresh(now):
+                    self.stats.fragment_hits += 1
+                    self.stats.bytes_served_from_dpc += stale.size_bytes
+                else:
+                    self.stats.stale_fragment_serves += 1
+                return GetInstruction(stale.dpc_key)
         entry = self.directory.lookup(fragment_id, now)
         if entry is not None:
             # Case 2: fresh hit -> GET instruction only.
@@ -191,6 +222,16 @@ class BackEndMonitor:
     def attach_database(self, bus) -> None:
         """Wire a database's trigger bus into the invalidation manager."""
         self.invalidation.attach(bus)
+
+    def attach_degrader(self, degrader) -> None:
+        """Enable the stale-on-late fallback for deadline-pressured requests.
+
+        ``degrader`` is duck-typed (anything exposing
+        ``stale_lookup(fragment_id, now)``, normally a
+        :class:`repro.faults.degradation.GracefulDegrader`) so the core
+        stays import-independent of the fault subsystem.
+        """
+        self._degrader = degrader
 
     def invalidate_fragment(
         self, name: str, params: Optional[Dict[str, object]] = None

@@ -21,7 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..errors import AssemblyError, ConfigurationError, SlotError
+from ..errors import (
+    AssemblyError,
+    ConfigurationError,
+    OversizedFragmentError,
+    SlotError,
+)
 from .scanner import TagScanner
 from .template import (
     DEFAULT_CONFIG,
@@ -105,8 +110,24 @@ class DynamicProxyCache:
     # -- slot primitives ---------------------------------------------------------
 
     def store(self, key: int, content: str) -> None:
-        """Execute a SET: overwrite slot ``key`` with ``content``."""
+        """Execute a SET: overwrite slot ``key`` with ``content``.
+
+        Payloads over the configured ``max_fragment_bytes`` are rejected
+        with a typed :class:`~repro.errors.OversizedFragmentError` — a
+        second line of defense behind the parser's check, for callers that
+        build :class:`Template` objects programmatically.
+        """
         self._check_key(key)
+        if len(content.encode("utf-8")) > self.template_config.max_fragment_bytes:
+            raise OversizedFragmentError(
+                "fragment for dpcKey %d is %d bytes (max %d) on %r"
+                % (
+                    key,
+                    len(content.encode("utf-8")),
+                    self.template_config.max_fragment_bytes,
+                    self.name,
+                )
+            )
         self._slots[key] = content
 
     def fetch(self, key: int) -> str:

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple, Union
 
-from ..errors import ConfigurationError, TemplateError
+from ..errors import ConfigurationError, OversizedFragmentError, TemplateError
 from .scanner import TagScanner
 
 SENTINEL = "<~"
@@ -45,13 +45,21 @@ class TemplateConfig:
     ``key_width`` fixes the zero-padded dpcKey width, hence the exact tag
     size ``g = key_width + 6`` bytes and the maximum representable key.
     Both sides of a deployment must agree on it, like any wire protocol.
+
+    ``max_fragment_bytes`` bounds one SET payload.  A proxy that accepts
+    arbitrarily large fragments can be wedged by a single malformed (or
+    hostile) response; anything over the limit is rejected with a typed
+    :class:`~repro.errors.OversizedFragmentError` before it touches a slot.
     """
 
     key_width: int = 4
+    max_fragment_bytes: int = 1 << 20  # 1 MiB: far above any real fragment
 
     def __post_init__(self) -> None:
         if self.key_width < 1:
             raise ConfigurationError("key_width must be at least 1")
+        if self.max_fragment_bytes < 1:
+            raise ConfigurationError("max_fragment_bytes must be positive")
 
     @property
     def tag_size(self) -> int:
@@ -255,7 +263,17 @@ def parse_template(
             continue
         if open_set:
             if kind == "E" and key == open_set[0]:
-                template.set(open_set[0], "".join(buffer))
+                content = "".join(buffer)
+                if len(content.encode("utf-8")) > config.max_fragment_bytes:
+                    raise OversizedFragmentError(
+                        "SET body for key %d is %d bytes (max %d)"
+                        % (
+                            open_set[0],
+                            len(content.encode("utf-8")),
+                            config.max_fragment_bytes,
+                        )
+                    )
+                template.set(open_set[0], content)
                 buffer.clear()
                 open_set = ()
                 continue

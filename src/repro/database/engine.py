@@ -60,6 +60,39 @@ class Database:
         self.transactions = TransactionManager(self.bus)
         self._tables: Dict[str, Table] = {}
         self.statements_executed = 0
+        self._queue = None
+        self._queue_clock = None
+        self._queue_service_s_per_row = 0.0
+        #: Cumulative virtual seconds statements spent waiting for a
+        #: connection (only grows while a bounded queue is attached).
+        self.queue_wait_s = 0.0
+
+    # -- bounded connection pool --------------------------------------------------
+
+    def attach_queue(self, queue, clock, service_s_per_row: float = 5e-5) -> None:
+        """Model a bounded connection pool in front of statement execution.
+
+        ``queue`` is duck-typed (normally a
+        :class:`repro.overload.queues.BoundedQueue`); each executed
+        statement occupies a pool connection for
+        ``rows_touched * service_s_per_row`` virtual seconds and advances
+        ``clock`` by any queueing delay it experiences.  When the pool's
+        waiting room is full the offer raises
+        :class:`~repro.errors.QueueFullError` — callers running under a
+        BEM should pre-screen admission (as
+        :meth:`repro.appserver.server.ApplicationServer._screen_admission`
+        does) so a mid-script rejection cannot leave a partially emitted
+        template behind.
+        """
+        self._queue = queue
+        self._queue_clock = clock
+        self._queue_service_s_per_row = service_s_per_row
+
+    def detach_queue(self) -> None:
+        """Remove the connection-pool model; execution is free again."""
+        self._queue = None
+        self._queue_clock = None
+        self._queue_service_s_per_row = 0.0
 
     # -- DDL ------------------------------------------------------------------
 
@@ -150,14 +183,22 @@ class Database:
         self.statements_executed += 1
         binder = _ParamBinder(params)
         if isinstance(statement, SelectStatement):
-            return self._execute_select(statement, binder)
-        if isinstance(statement, InsertStatement):
-            return self._execute_insert(statement, binder)
-        if isinstance(statement, UpdateStatement):
-            return self._execute_update(statement, binder)
-        if isinstance(statement, DeleteStatement):
-            return self._execute_delete(statement, binder)
-        raise QueryError("unsupported statement %r" % (statement,))  # pragma: no cover
+            result = self._execute_select(statement, binder)
+        elif isinstance(statement, InsertStatement):
+            result = self._execute_insert(statement, binder)
+        elif isinstance(statement, UpdateStatement):
+            result = self._execute_update(statement, binder)
+        elif isinstance(statement, DeleteStatement):
+            result = self._execute_delete(statement, binder)
+        else:  # pragma: no cover
+            raise QueryError("unsupported statement %r" % (statement,))
+        if self._queue is not None:
+            service_s = max(1, result.rows_touched) * self._queue_service_s_per_row
+            placement = self._queue.offer(self._queue_clock.now(), service_s)
+            if placement.wait_s > 0:
+                self.queue_wait_s += placement.wait_s
+                self._queue_clock.advance(placement.wait_s)
+        return result
 
     # -- SELECT ---------------------------------------------------------------
 

@@ -17,6 +17,18 @@ class ConfigurationError(ReproError):
     """A component was constructed or configured with invalid parameters."""
 
 
+class ProtocolError(ReproError):
+    """Malformed or protocol-violating BEM→DPC wire input.
+
+    Umbrella for every way an origin response can be unparseable or
+    unexecutable at the proxy: truncated or garbled tags, GETs referencing
+    out-of-range or never-set dpcKeys, and oversized fragment payloads.
+    The DPC must reject such input with this typed error — never with a
+    raw ``KeyError``/``IndexError`` — so callers can fail the one response
+    instead of the whole proxy.
+    """
+
+
 # --------------------------------------------------------------------------
 # Core (DPC / BEM) errors
 # --------------------------------------------------------------------------
@@ -30,11 +42,11 @@ class DirectoryFullError(CacheError):
     """The BEM cache directory is full and replacement could not free space."""
 
 
-class SlotError(CacheError):
+class SlotError(CacheError, ProtocolError):
     """A DPC slot operation referenced an out-of-range or unassigned dpcKey."""
 
 
-class AssemblyError(CacheError):
+class AssemblyError(CacheError, ProtocolError):
     """The DPC could not assemble a page from a template.
 
     Raised when a GET instruction references a slot that holds no content.
@@ -44,8 +56,12 @@ class AssemblyError(CacheError):
     """
 
 
-class TemplateError(ReproError):
+class TemplateError(ProtocolError):
     """A serialized page template could not be parsed."""
+
+
+class OversizedFragmentError(ProtocolError):
+    """A SET carried a fragment payload larger than the configured maximum."""
 
 
 class TaggingError(ReproError):
@@ -155,3 +171,33 @@ class RecoveryError(FaultError):
 
 class DeliveryTimeoutError(FaultError):
     """A retried delivery exhausted its attempts and was dead-lettered."""
+
+
+# --------------------------------------------------------------------------
+# Overload-protection errors
+# --------------------------------------------------------------------------
+
+
+class OverloadError(ReproError):
+    """Base class for overload-protection rejections (the system said no).
+
+    These are *flow-control* outcomes, not bugs: a bounded queue was full,
+    a deadline could not be met, or a shedding policy refused admission.
+    Callers account them and degrade; they never indicate corruption.
+    """
+
+
+class QueueFullError(OverloadError):
+    """A bounded queue was at capacity and the arrival was rejected."""
+
+
+class DeadlineExceededError(OverloadError):
+    """A request's deadline expired before (or while) it could be served."""
+
+
+class RequestShedError(OverloadError):
+    """An admission-control policy refused an origin-bound request."""
+
+
+class CircuitOpenError(OverloadError):
+    """The circuit breaker toward a saturated origin is open."""

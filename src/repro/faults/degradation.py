@@ -31,6 +31,8 @@ class DegradationStats:
     stale_hits: int = 0          # fragments served past TTL within grace
     stale_bytes: int = 0         # bytes of stale fragment content served
     refreshes_scheduled: int = 0  # revalidations queued by stale serves
+    stale_pages: int = 0         # whole pages served from a stale copy
+    browned_out_requests: int = 0  # requests absorbed during brown-out
 
     @property
     def fallback_requests(self) -> int:
@@ -74,6 +76,21 @@ class GracefulDegrader:
     def record_failure(self) -> None:
         """Account one request that could not be served at all."""
         self.stats.failed_requests += 1
+
+    def record_stale_page(self, page_bytes: int) -> None:
+        """Account one whole page served from a stale copy.
+
+        The overload path serves page-granularity stale content (from a
+        :class:`repro.overload.stale.StalePageCache`) when the origin is
+        browned out or a request has blown its deadline; those bytes are
+        correctness exposure, same as stale fragments.
+        """
+        self.stats.stale_pages += 1
+        self.stats.stale_bytes += page_bytes
+
+    def record_brownout(self) -> None:
+        """Account one request absorbed while the breaker held the origin."""
+        self.stats.browned_out_requests += 1
 
     # -- stale-while-revalidate ----------------------------------------------
 

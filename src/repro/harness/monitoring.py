@@ -52,12 +52,17 @@ def take_snapshot(
     firewall: Optional[Firewall] = None,
     sniffer: Optional[Sniffer] = None,
     recovery=None,
+    overload=None,
+    channel=None,
 ) -> DeploymentSnapshot:
     """Collect the current counters of whichever components are given.
 
-    ``recovery`` is duck-typed (anything exposing ``snapshot_rows()``,
-    e.g. :class:`repro.faults.recovery.ResyncProtocol`) so that this module
-    stays import-independent of the fault subsystem.
+    ``recovery`` and ``overload`` are duck-typed (anything exposing
+    ``snapshot_rows()``, e.g. :class:`repro.faults.recovery.ResyncProtocol`
+    and :class:`repro.overload.accounting.DropLedger`) so that this module
+    stays import-independent of those subsystems.  ``channel`` is a
+    :class:`repro.network.channel.Channel`; its send/drop counters surface
+    so in-flight message loss is never silent.
     """
     snapshot = DeploymentSnapshot()
     if bem is not None:
@@ -113,4 +118,10 @@ def take_snapshot(
     if recovery is not None:
         for name, value in recovery.snapshot_rows():
             snapshot.add(name, value)
+    if overload is not None:
+        for name, value in overload.snapshot_rows():
+            snapshot.add(name, value)
+    if channel is not None:
+        snapshot.add("channel.messages_sent", channel.messages_sent)
+        snapshot.add("channel.messages_dropped", channel.messages_dropped)
     return snapshot

@@ -43,6 +43,20 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def drops_table(ledger) -> str:
+    """Render a drop ledger as a reason-by-reason table, zeros included.
+
+    ``ledger`` is duck-typed (anything exposing ``rows()`` and ``total``,
+    normally a :class:`repro.overload.accounting.DropLedger`).  Every
+    registered rejection reason gets a row even when its count is zero, so
+    a silent drop path is visible as an explicit ``0`` rather than an
+    absent line.
+    """
+    rows: List[Sequence[object]] = [list(row) for row in ledger.rows()]
+    rows.append(["total", ledger.total])
+    return format_table(["drop reason", "count"], rows)
+
+
 def percent(value: float) -> str:
     """Format a percentage with one decimal, e.g. ``70.2%``."""
     return "%.1f%%" % value

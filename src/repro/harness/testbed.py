@@ -46,7 +46,12 @@ from ..network import (
 from ..network.latency import GenerationCostModel
 from ..sites import synthetic
 from ..sites.synthetic import SyntheticParams, touch_fragment
-from ..workload import DeterministicProcess, WorkloadGenerator, synthetic_pages
+from ..workload import (
+    ArrivalProcess,
+    DeterministicProcess,
+    WorkloadGenerator,
+    synthetic_pages,
+)
 
 MODES = ("no_cache", "dpc", "backend")
 
@@ -64,6 +69,12 @@ class TestbedConfig:
     warmup_requests: int = 200
     seed: int = 42
     arrival_rate: float = 100.0
+    #: Custom arrival process (e.g. a flash crowd); overrides
+    #: ``arrival_rate`` when set.
+    arrivals: Optional[ArrivalProcess] = None
+    #: Relative per-request deadline stamped onto every generated request
+    #: (``None`` keeps the deadline-free pre-overload behavior).
+    deadline_s: Optional[float] = None
     overhead: ProtocolOverheadModel = field(default_factory=ProtocolOverheadModel)
     cost_model: GenerationCostModel = field(default_factory=GenerationCostModel)
     origin_link: LinkParameters = field(default_factory=LinkParameters)
@@ -222,10 +233,16 @@ class Testbed:
 
     def build_workload(self) -> WorkloadGenerator:
         """The seeded workload generator for this configuration."""
+        arrivals = (
+            self.config.arrivals
+            if self.config.arrivals is not None
+            else DeterministicProcess(rate=self.config.arrival_rate)
+        )
         return WorkloadGenerator(
             pages=synthetic_pages(self.config.synthetic.num_pages),
-            arrivals=DeterministicProcess(rate=self.config.arrival_rate),
+            arrivals=arrivals,
             seed=self.config.seed,
+            deadline_s=self.config.deadline_s,
         )
 
     # -- driving ---------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Admission control: pluggable load-shedding policies for origin-bound work.
+
+Applied at the DPC, in front of the origin trip: cache hits are never
+consulted against a policy (serving them costs the origin almost nothing),
+only requests that would trigger regeneration work.  Each policy answers
+one question — *given the origin queue's state, should this miss be
+admitted?* — and keeps its own shed accounting.
+
+Three classic shapes:
+
+* :class:`StaticThresholdPolicy` — shed when the queue is deeper than a
+  fixed threshold.  Simple, but tuned to one traffic mix.
+* :class:`CoDelPolicy` — shed when queueing *delay* has stayed above a
+  target for a full interval (the CoDel insight: depth is a poor signal,
+  standing delay is the real symptom of overload).
+* :class:`TokenBucketPolicy` — admit origin-bound work at a bounded
+  sustained rate with a burst allowance; everything beyond sheds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+
+class AdmissionPolicy:
+    """Interface: decide one origin-bound admission; count what you shed."""
+
+    name = "admit-all"
+
+    def __init__(self) -> None:
+        self.consulted = 0
+        self.shed = 0
+
+    def admit(self, now: float, depth: int, wait_s: float) -> bool:
+        """Whether to admit an origin-bound request arriving at ``now``.
+
+        ``depth`` and ``wait_s`` describe the origin queue the request
+        would join.  Implementations must call :meth:`_account`.
+        """
+        return self._account(True)
+
+    def _account(self, admitted: bool) -> bool:
+        self.consulted += 1
+        if not admitted:
+            self.shed += 1
+        return admitted
+
+
+class StaticThresholdPolicy(AdmissionPolicy):
+    """Shed whenever the origin queue is at least ``threshold`` deep."""
+
+    name = "static-threshold"
+
+    def __init__(self, threshold: int = 8) -> None:
+        super().__init__()
+        if threshold < 1:
+            raise ConfigurationError("threshold must be positive")
+        self.threshold = threshold
+
+    def admit(self, now: float, depth: int, wait_s: float) -> bool:
+        """Depth-gated admission."""
+        return self._account(depth < self.threshold)
+
+
+class CoDelPolicy(AdmissionPolicy):
+    """Shed when queueing delay exceeds ``target_s`` for ``interval_s``.
+
+    Transient bursts that drain quickly are admitted untouched; only a
+    *standing* queue — delay continuously above target for a whole
+    interval — triggers shedding, which continues until the delay dips
+    back under target.
+    """
+
+    name = "codel"
+
+    def __init__(self, target_s: float = 0.05, interval_s: float = 0.5) -> None:
+        super().__init__()
+        if target_s <= 0 or interval_s <= 0:
+            raise ConfigurationError("CoDel target and interval must be positive")
+        self.target_s = target_s
+        self.interval_s = interval_s
+        self._above_since: Optional[float] = None
+
+    def admit(self, now: float, depth: int, wait_s: float) -> bool:
+        """Standing-delay-gated admission."""
+        if wait_s <= self.target_s:
+            self._above_since = None
+            return self._account(True)
+        if self._above_since is None:
+            self._above_since = now
+            return self._account(True)
+        return self._account(now - self._above_since < self.interval_s)
+
+
+class TokenBucketPolicy(AdmissionPolicy):
+    """Admit origin-bound work at ``rate`` per second, ``burst`` deep."""
+
+    name = "token-bucket"
+
+    def __init__(self, rate: float = 50.0, burst: float = 10.0) -> None:
+        super().__init__()
+        if rate <= 0 or burst < 1:
+            raise ConfigurationError("rate must be positive, burst at least 1")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._refilled_at: Optional[float] = None
+
+    def admit(self, now: float, depth: int, wait_s: float) -> bool:
+        """Rate-gated admission on the virtual clock."""
+        if self._refilled_at is not None and now > self._refilled_at:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate
+            )
+        self._refilled_at = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return self._account(True)
+        return self._account(False)
+
+
+POLICIES = {
+    "admit-all": AdmissionPolicy,
+    "static-threshold": StaticThresholdPolicy,
+    "codel": CoDelPolicy,
+    "token-bucket": TokenBucketPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> AdmissionPolicy:
+    """Construct an admission policy by name (see :data:`POLICIES`)."""
+    if name not in POLICIES:
+        raise ConfigurationError(
+            "unknown admission policy %r (have %s)" % (name, sorted(POLICIES))
+        )
+    return POLICIES[name](**kwargs)

@@ -1,0 +1,102 @@
+"""Circuit breaker: the DPC's view of a saturated origin.
+
+When origin-bound requests start failing (queue-full rejections, blown
+deadlines), continuing to forward misses only deepens the collapse.  The
+breaker trips **open** after ``failure_threshold`` consecutive failures:
+origin-bound regeneration work is refused locally and the deployment
+*browns out* — stale pages are served from the proxy where available.
+After ``open_s`` of cool-down the breaker goes **half-open** and lets
+single probe requests through; one success closes it, a failure re-opens.
+
+Cache-hit traffic is never gated by the breaker: serving a hit costs the
+origin a directory probe and a tag, which is exactly the load the paper's
+architecture is designed to keep cheap.  The brown-out sheds only the
+expensive work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerStats:
+    """State-machine transitions and probe accounting."""
+
+    opens: int = 0
+    closes: int = 0
+    probes: int = 0
+    refused: int = 0  # allow() calls answered False while open
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine on the virtual clock."""
+
+    def __init__(
+        self, failure_threshold: int = 5, open_s: float = 1.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be positive")
+        if open_s <= 0:
+            raise ConfigurationError("open_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.open_s = open_s
+        self.state = CLOSED
+        self.stats = BreakerStats()
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    def allow(self, now: float) -> bool:
+        """Whether an origin-bound request may go out at ``now``.
+
+        While open, returns ``False`` until the cool-down elapses; then the
+        breaker half-opens and admits exactly one probe at a time.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self._opened_at < self.open_s:
+                self.stats.refused += 1
+                return False
+            self.state = HALF_OPEN
+            self._probe_in_flight = False
+        # Half-open: one probe at a time.
+        if self._probe_in_flight:
+            self.stats.refused += 1
+            return False
+        self._probe_in_flight = True
+        self.stats.probes += 1
+        return True
+
+    def record_success(self, now: float) -> None:
+        """An origin trip completed in time: heal toward closed."""
+        self._consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self.stats.closes += 1
+        self._probe_in_flight = False
+
+    def record_failure(self, now: float) -> None:
+        """An origin trip failed (queue full / deadline blown): trip if due."""
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self.state = OPEN
+            self._opened_at = now
+            self.stats.opens += 1
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CircuitBreaker(%s, %d consecutive failures)" % (
+            self.state, self._consecutive_failures,
+        )

@@ -1,0 +1,195 @@
+"""Bounded c-server queues on the virtual clock.
+
+The paper's testbed models an origin with infinite capacity: every request
+is served the instant it arrives, so saturation — the regime where proxy
+caching matters most — is invisible.  A :class:`BoundedQueue` gives a
+component (application server, database connection pool) a finite service
+bank: ``servers`` parallel servers, a bounded waiting room, and rejection
+when the room is full.  Virtual generation time then includes queueing
+delay, and flash crowds produce queue-full rejections instead of free
+service.
+
+The model is an event-free M/G/c sketch driven by the caller: arrivals
+must be offered in non-decreasing time order (the harness replays a sorted
+workload, so this holds by construction), each with its service demand in
+virtual seconds.  The queue schedules the job on the earliest-free server
+and reports the wait it would have experienced.  No wall-clock time is
+involved anywhere.
+
+Two disciplines:
+
+* ``fifo`` — every arrival sees the same waiting room.
+* ``priority`` — a fraction of the room (``reserve_fraction``) is held
+  back for priority arrivals (``priority > 0``); best-effort arrivals are
+  rejected once the unreserved portion fills.  This is how a deployment
+  keeps cheap cache-hit traffic flowing while expensive regeneration work
+  queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List
+
+from ..errors import ConfigurationError, QueueFullError
+
+DISCIPLINES = ("fifo", "priority")
+
+
+@dataclass
+class QueueStats:
+    """Arrival accounting for one bounded queue."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    total_wait_s: float = 0.0
+    busy_s: float = 0.0       # total service time scheduled
+    max_depth: int = 0        # peak waiting-room occupancy observed
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean queueing delay over admitted jobs."""
+        if not self.admitted:
+            return 0.0
+        return self.total_wait_s / self.admitted
+
+
+@dataclass(frozen=True)
+class QueuePlacement:
+    """Where one admitted job landed in the schedule."""
+
+    wait_s: float       # time spent in the waiting room
+    start_at: float     # virtual instant service begins
+    finish_at: float    # virtual instant service completes
+    depth: int          # waiting-room occupancy seen on arrival
+
+
+class BoundedQueue:
+    """A bounded waiting room in front of ``servers`` virtual servers."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        servers: int = 1,
+        discipline: str = "fifo",
+        reserve_fraction: float = 0.0,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("queue capacity must be positive")
+        if servers < 1:
+            raise ConfigurationError("queue needs at least one server")
+        if discipline not in DISCIPLINES:
+            raise ConfigurationError("discipline must be one of %s" % (DISCIPLINES,))
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ConfigurationError("reserve_fraction must be in [0, 1)")
+        self.name = name
+        self.capacity = capacity
+        self.servers = servers
+        self.discipline = discipline
+        self.reserve_fraction = reserve_fraction
+        self.stats = QueueStats()
+        #: Busy-until instant of each server (min-heap).
+        self._free_at: List[float] = [0.0] * servers
+        heapq.heapify(self._free_at)
+        #: Scheduled service-start instants of jobs still in the waiting
+        #: room, in non-decreasing order (starts are monotone because the
+        #: earliest-free server time never decreases).
+        self._starts: Deque[float] = deque()
+        self._last_offer_at = float("-inf")
+
+    # -- inspection ----------------------------------------------------------
+
+    def depth(self, now: float) -> int:
+        """Waiting-room occupancy at ``now``: admitted jobs not yet started."""
+        while self._starts and self._starts[0] <= now:
+            self._starts.popleft()
+        return len(self._starts)
+
+    def next_start(self, now: float) -> float:
+        """When a job arriving at ``now`` would begin service."""
+        return max(now, self._free_at[0])
+
+    def expected_wait(self, now: float) -> float:
+        """Queueing delay a job arriving at ``now`` would experience."""
+        return self.next_start(now) - now
+
+    def full(self, now: float, priority: int = 0) -> bool:
+        """Whether an arrival at ``now`` would be rejected."""
+        return self.depth(now) >= self._limit_for(priority)
+
+    def _limit_for(self, priority: int) -> int:
+        if self.discipline == "priority" and priority <= 0:
+            reserved = int(self.capacity * self.reserve_fraction)
+            return max(1, self.capacity - reserved)
+        return self.capacity
+
+    # -- admission -----------------------------------------------------------
+
+    def reject(self, now: float) -> None:
+        """Account a screened rejection and raise.
+
+        Callers that must refuse an arrival *before* its service demand is
+        known (rejections must precede side-effecting work) use this so
+        the queue's own statistics still see every turned-away arrival.
+        """
+        self.stats.offered += 1
+        self.stats.rejected += 1
+        raise QueueFullError(
+            "queue %r full (%d waiting, capacity %d)"
+            % (self.name, self.depth(now), self.capacity)
+        )
+
+    def offer(self, now: float, service_s: float, priority: int = 0) -> QueuePlacement:
+        """Admit one job arriving at ``now`` needing ``service_s`` of work.
+
+        Raises :class:`~repro.errors.QueueFullError` when the waiting room
+        (or, for best-effort arrivals under the ``priority`` discipline,
+        its unreserved portion) is already full.  Arrivals must come in
+        non-decreasing ``now`` order.
+        """
+        if now < self._last_offer_at:
+            raise ConfigurationError(
+                "offers must arrive in time order (%.6f after %.6f)"
+                % (now, self._last_offer_at)
+            )
+        if service_s < 0:
+            raise ConfigurationError("service time cannot be negative")
+        self._last_offer_at = now
+        self.stats.offered += 1
+        depth = self.depth(now)
+        if depth >= self._limit_for(priority):
+            self.stats.rejected += 1
+            raise QueueFullError(
+                "queue %r full (%d waiting, capacity %d)"
+                % (self.name, depth, self.capacity)
+            )
+        start = max(now, self._free_at[0])
+        heapq.heapreplace(self._free_at, start + service_s)
+        if start > now:
+            self._starts.append(start)
+            depth += 1
+        self.stats.admitted += 1
+        self.stats.total_wait_s += start - now
+        self.stats.busy_s += service_s
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        return QueuePlacement(
+            wait_s=start - now, start_at=start, finish_at=start + service_s,
+            depth=depth,
+        )
+
+    def reset(self) -> None:
+        """Forget all scheduled work (test fixtures and re-runs)."""
+        self._free_at = [0.0] * self.servers
+        heapq.heapify(self._free_at)
+        self._starts.clear()
+        self._last_offer_at = float("-inf")
+        self.stats = QueueStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BoundedQueue(%r, %d servers, cap=%d)" % (
+            self.name, self.servers, self.capacity,
+        )

@@ -1,0 +1,90 @@
+"""The brown-out page cache: last-known-good pages at the proxy.
+
+During a brown-out (circuit breaker open, or a policy shed that can be
+degraded instead of dropped) the DPC serves the most recent *fresh* page
+it assembled for the same URL, stale-while-revalidate style at page
+granularity.  Only pages that passed through the normal pipeline are
+stored — a stale serve is never re-stored, so staleness cannot compound.
+
+This is deliberately tiny: an LRU map from URL to (html, stored_at).  It
+holds pages, not fragments — fragment-grain staleness lives in the BEM's
+deadline-pressure path (:meth:`repro.core.bem.BackEndMonitor.process_block`
+with an attached degrader).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class StaleCacheStats:
+    """Brown-out serving accounting."""
+
+    stores: int = 0
+    stale_serves: int = 0
+    stale_bytes: int = 0
+    misses: int = 0          # brown-out lookups that found nothing usable
+    expired_skips: int = 0   # entries present but older than max_age_s
+
+
+class StalePageCache:
+    """Bounded LRU of the last fresh page per URL."""
+
+    def __init__(self, capacity: int = 256, max_age_s: Optional[float] = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError("stale cache capacity must be positive")
+        if max_age_s is not None and max_age_s <= 0:
+            raise ConfigurationError("max_age_s must be positive when set")
+        self.capacity = capacity
+        self.max_age_s = max_age_s
+        self.stats = StaleCacheStats()
+        self._pages: "OrderedDict[str, Tuple[str, float]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def put(self, url: str, html: str, now: float) -> None:
+        """Remember a freshly assembled page for ``url``."""
+        if url in self._pages:
+            del self._pages[url]
+        elif len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+        self._pages[url] = (html, now)
+        self.stats.stores += 1
+
+    def has(self, url: str, now: float) -> bool:
+        """Whether a brown-out serve for ``url`` would succeed."""
+        cached = self._pages.get(url)
+        if cached is None:
+            return False
+        _, stored_at = cached
+        return self.max_age_s is None or now - stored_at <= self.max_age_s
+
+    def serve_stale(self, url: str, now: float) -> Optional[str]:
+        """The last-known-good page for ``url``, or ``None``.
+
+        A hit is accounted as a stale serve — the correctness exposure a
+        bench reports — and refreshes LRU position (a page being leaned on
+        during brown-out is the last one to evict).
+        """
+        cached = self._pages.get(url)
+        if cached is None:
+            self.stats.misses += 1
+            return None
+        html, stored_at = cached
+        if self.max_age_s is not None and now - stored_at > self.max_age_s:
+            self.stats.expired_skips += 1
+            return None
+        self._pages.move_to_end(url)
+        self.stats.stale_serves += 1
+        self.stats.stale_bytes += len(html.encode("utf-8"))
+        return html
+
+    def clear(self) -> None:
+        """Drop every remembered page."""
+        self._pages.clear()

@@ -9,6 +9,7 @@ from .arrivals import (
     ArrivalProcess,
     BurstyProcess,
     DeterministicProcess,
+    FlashCrowdProcess,
     PoissonProcess,
 )
 from .generator import PageSpec, TimedRequest, WorkloadGenerator, synthetic_pages
@@ -22,6 +23,7 @@ __all__ = [
     "PoissonProcess",
     "DeterministicProcess",
     "BurstyProcess",
+    "FlashCrowdProcess",
     "PageSpec",
     "TimedRequest",
     "WorkloadGenerator",

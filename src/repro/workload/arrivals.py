@@ -88,3 +88,66 @@ class BurstyProcess(ArrivalProcess):
             yield self.idle_gap  # gap that opens a new burst
             while rng.random() < continue_p:
                 yield -math.log(1.0 - rng.random()) / self.burst_rate
+
+
+class FlashCrowdProcess(ArrivalProcess):
+    """A flash crowd: baseline rate, a sudden burst, exponential decay.
+
+    The instantaneous rate is piecewise::
+
+        rate(t) = base_rate                          t <  burst_at
+                = base_rate * multiplier             burst_at <= t < burst_at + hold_s
+                = base_rate * (1 + (multiplier - 1)
+                      * exp(-(t - hold_end) / decay_s))   afterwards
+
+    i.e. a quiet site is hit by ``multiplier``× its normal traffic, the
+    surge holds for ``hold_s`` seconds, then decays back toward baseline
+    with time constant ``decay_s``.  Gaps are exponential at the rate in
+    effect when each gap opens (a non-homogeneous Poisson sketch);
+    ``deterministic=True`` replaces them with exact ``1/rate(t)`` spacing
+    for noise-free acceptance tests.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        multiplier: float = 10.0,
+        burst_at: float = 10.0,
+        hold_s: float = 10.0,
+        decay_s: float = 5.0,
+        deterministic: bool = False,
+    ) -> None:
+        if base_rate <= 0:
+            raise ConfigurationError("base_rate must be positive")
+        if multiplier < 1:
+            raise ConfigurationError("multiplier must be at least 1")
+        if burst_at < 0 or hold_s < 0 or decay_s <= 0:
+            raise ConfigurationError("invalid flash-crowd timing parameters")
+        self.base_rate = base_rate
+        self.multiplier = multiplier
+        self.burst_at = burst_at
+        self.hold_s = hold_s
+        self.decay_s = decay_s
+        self.deterministic = deterministic
+
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        if t < self.burst_at:
+            return self.base_rate
+        hold_end = self.burst_at + self.hold_s
+        if t < hold_end:
+            return self.base_rate * self.multiplier
+        surge = (self.multiplier - 1.0) * math.exp(-(t - hold_end) / self.decay_s)
+        return self.base_rate * (1.0 + surge)
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """Gaps drawn at the rate in effect when each gap opens."""
+        now = 0.0
+        while True:
+            rate = self.rate(now)
+            if self.deterministic:
+                gap = 1.0 / rate
+            else:
+                gap = -math.log(1.0 - rng.random()) / rate
+            now += gap
+            yield gap

@@ -15,7 +15,7 @@ streams — the comparisons are paired, not merely statistically similar.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..appserver.http import HttpRequest
@@ -56,6 +56,9 @@ class TimedRequest:
     at: float
     request: HttpRequest
     page_rank: int  # 1-indexed Zipf rank of the page
+    #: Absolute virtual deadline, when the workload carries one (mirrors
+    #: ``request.deadline_at`` for convenient trace inspection).
+    deadline_at: Optional[float] = None
 
 
 class WorkloadGenerator:
@@ -68,10 +71,17 @@ class WorkloadGenerator:
         arrivals: Optional[ArrivalProcess] = None,
         page_alpha: float = 1.0,
         seed: int = 42,
+        deadline_s: Optional[float] = None,
     ) -> None:
         if not pages:
             raise ConfigurationError("at least one page is required")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
         self.pages = list(pages)
+        #: Relative per-request deadline; every generated request carries
+        #: ``deadline_at = at + deadline_s``, propagated end to end so the
+        #: proxy and origin can refuse work they can no longer finish.
+        self.deadline_s = deadline_s
         self.population = population if population is not None else UserPopulation(
             user_ids=[], registered_fraction=0.0
         )
@@ -89,7 +99,13 @@ class WorkloadGenerator:
             rank = self.page_zipf.sample(rng)
             visitor = self.population.draw(rng)
             request = self.pages[rank - 1].to_request(visitor)
-            yield TimedRequest(at=at, request=request, page_rank=rank)
+            deadline_at = (
+                at + self.deadline_s if self.deadline_s is not None else None
+            )
+            request = replace(request, arrived_at=at, deadline_at=deadline_at)
+            yield TimedRequest(
+                at=at, request=request, page_rank=rank, deadline_at=deadline_at
+            )
 
     def materialize(self, count: int) -> List[TimedRequest]:
         """The first ``count`` timed requests as a list."""

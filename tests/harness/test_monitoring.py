@@ -72,3 +72,27 @@ class TestSnapshot:
         bem, dpc = active_deployment
         snapshot = take_snapshot(bem=bem)
         assert 0.0 <= snapshot.get("directory.utilization") <= 1.0
+
+
+class TestOverloadSection:
+    def test_drop_ledger_rows_surface(self):
+        from repro.overload import DROP_REASONS, DropLedger
+
+        ledger = DropLedger()
+        ledger.record("queue_full", 4)
+        ledger.record("policy_shed")
+        snapshot = take_snapshot(overload=ledger)
+        for reason in DROP_REASONS:
+            assert snapshot.get("overload.drops.%s" % reason) >= 0
+        assert snapshot.get("overload.drops.queue_full") == 4
+        assert snapshot.get("overload.drops.total") == 5
+
+    def test_channel_rows_surface(self):
+        from repro.network import Channel
+
+        channel = Channel("origin", endpoint_a="dpc", endpoint_b="appserver")
+        channel.messages_sent = 12
+        channel.messages_dropped = 2
+        snapshot = take_snapshot(channel=channel)
+        assert snapshot.get("channel.messages_sent") == 12
+        assert snapshot.get("channel.messages_dropped") == 2

@@ -59,6 +59,14 @@ class TestExamples:
         assert "fail-stop as designed" in out
         assert "page correct: True" in out
 
+    def test_flash_crowd(self):
+        out = run_example("flash_crowd.py")
+        assert "collapse" in out
+        assert "graceful" in out
+        assert "hits shed: 0" in out
+        assert "0 incorrect" in out
+        assert "queue_full" in out            # the drops table is printed
+
     def test_all_examples_exist(self):
         present = sorted(
             name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
@@ -67,6 +75,7 @@ class TestExamples:
             "books_online.py",
             "brokerage.py",
             "edge_network.py",
+            "flash_crowd.py",
             "operations.py",
             "quickstart.py",
             "reproduce_figures.py",

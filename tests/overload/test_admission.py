@@ -1,0 +1,92 @@
+"""Tests for the pluggable admission-control policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload.admission import (
+    AdmissionPolicy,
+    CoDelPolicy,
+    StaticThresholdPolicy,
+    TokenBucketPolicy,
+    make_policy,
+)
+
+
+class TestBasePolicy:
+    def test_admit_all_and_accounting(self):
+        policy = AdmissionPolicy()
+        assert all(policy.admit(t, depth=99, wait_s=9.9) for t in range(5))
+        assert policy.consulted == 5
+        assert policy.shed == 0
+
+
+class TestStaticThreshold:
+    def test_sheds_at_threshold(self):
+        policy = StaticThresholdPolicy(threshold=3)
+        assert policy.admit(0.0, depth=2, wait_s=0.0)
+        assert not policy.admit(0.0, depth=3, wait_s=0.0)
+        assert not policy.admit(0.0, depth=10, wait_s=0.0)
+        assert policy.shed == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            StaticThresholdPolicy(threshold=0)
+
+
+class TestCoDel:
+    def test_transient_spike_is_admitted(self):
+        policy = CoDelPolicy(target_s=0.05, interval_s=0.5)
+        assert policy.admit(0.0, depth=5, wait_s=0.2)   # first above-target
+        assert policy.admit(0.1, depth=5, wait_s=0.2)   # within interval
+        assert policy.admit(0.3, depth=0, wait_s=0.01)  # delay recovered
+        assert policy.shed == 0
+
+    def test_standing_delay_sheds(self):
+        policy = CoDelPolicy(target_s=0.05, interval_s=0.5)
+        assert policy.admit(0.0, depth=5, wait_s=0.2)
+        assert not policy.admit(0.6, depth=5, wait_s=0.2)   # standing queue
+        assert not policy.admit(0.7, depth=5, wait_s=0.2)
+        assert policy.admit(0.8, depth=0, wait_s=0.01)      # recovered
+        assert policy.admit(1.5, depth=5, wait_s=0.2)       # interval restarts
+        assert policy.shed == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CoDelPolicy(target_s=0)
+        with pytest.raises(ConfigurationError):
+            CoDelPolicy(interval_s=-1)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self):
+        policy = TokenBucketPolicy(rate=10.0, burst=2.0)
+        assert policy.admit(0.0, 0, 0.0)
+        assert policy.admit(0.0, 0, 0.0)
+        assert not policy.admit(0.0, 0, 0.0)    # bucket drained
+        assert policy.admit(0.1, 0, 0.0)        # one token refilled
+        assert not policy.admit(0.1, 0, 0.0)
+
+    def test_refill_caps_at_burst(self):
+        policy = TokenBucketPolicy(rate=100.0, burst=2.0)
+        policy.admit(0.0, 0, 0.0)
+        admitted = sum(1 for _ in range(10) if policy.admit(100.0, 0, 0.0))
+        assert admitted == 2                     # long idle refills to burst only
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucketPolicy(rate=0)
+        with pytest.raises(ConfigurationError):
+            TokenBucketPolicy(rate=1.0, burst=0.5)
+
+
+class TestRegistry:
+    def test_make_policy_by_name(self):
+        assert isinstance(make_policy("codel"), CoDelPolicy)
+        assert isinstance(
+            make_policy("static-threshold", threshold=2), StaticThresholdPolicy
+        )
+        assert isinstance(make_policy("token-bucket"), TokenBucketPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("drop-everything")

@@ -1,0 +1,70 @@
+"""Tests for the circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class TestTripping:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, open_s=1.0)
+        for t in range(2):
+            breaker.record_failure(float(t))
+        assert breaker.state == CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state == OPEN
+        assert breaker.stats.opens == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state == CLOSED
+
+    def test_open_refuses_until_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_s=2.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(0.5)
+        assert not breaker.allow(1.9)
+        assert breaker.stats.refused == 2
+
+
+class TestHalfOpen:
+    def make_open(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_s=1.0)
+        breaker.record_failure(0.0)
+        return breaker
+
+    def test_one_probe_at_a_time(self):
+        breaker = self.make_open()
+        assert breaker.allow(1.5)           # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(1.6)       # second concurrent probe refused
+        assert breaker.stats.probes == 1
+
+    def test_probe_success_closes(self):
+        breaker = self.make_open()
+        assert breaker.allow(1.5)
+        breaker.record_success(1.6)
+        assert breaker.state == CLOSED
+        assert breaker.stats.closes == 1
+        assert breaker.allow(1.7)
+
+    def test_probe_failure_reopens(self):
+        breaker = self.make_open()
+        assert breaker.allow(1.5)
+        breaker.record_failure(1.6)
+        assert breaker.state == OPEN
+        assert not breaker.allow(1.7)
+        # and the cool-down restarts from the re-open instant
+        assert breaker.allow(2.7)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(open_s=0)

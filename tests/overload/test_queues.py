@@ -1,0 +1,125 @@
+"""Tests for the bounded c-server queues."""
+
+import pytest
+
+from repro.errors import ConfigurationError, QueueFullError
+from repro.overload.queues import BoundedQueue, QueuePlacement
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BoundedQueue("q", capacity=0)
+        with pytest.raises(ConfigurationError):
+            BoundedQueue("q", capacity=4, servers=0)
+        with pytest.raises(ConfigurationError):
+            BoundedQueue("q", capacity=4, discipline="lifo")
+        with pytest.raises(ConfigurationError):
+            BoundedQueue("q", capacity=4, reserve_fraction=1.0)
+
+
+class TestScheduling:
+    def test_idle_server_serves_immediately(self):
+        queue = BoundedQueue("q", capacity=4, servers=1)
+        placement = queue.offer(0.0, 1.0)
+        assert placement == QueuePlacement(
+            wait_s=0.0, start_at=0.0, finish_at=1.0, depth=0
+        )
+
+    def test_busy_server_queues_the_next_arrival(self):
+        queue = BoundedQueue("q", capacity=4, servers=1)
+        queue.offer(0.0, 1.0)
+        placement = queue.offer(0.5, 1.0)
+        assert placement.wait_s == pytest.approx(0.5)
+        assert placement.start_at == pytest.approx(1.0)
+
+    def test_c_servers_run_in_parallel(self):
+        queue = BoundedQueue("q", capacity=8, servers=2)
+        assert queue.offer(0.0, 1.0).wait_s == 0.0
+        assert queue.offer(0.0, 1.0).wait_s == 0.0   # second server
+        assert queue.offer(0.0, 1.0).wait_s == pytest.approx(1.0)
+
+    def test_waiting_room_overflow_raises(self):
+        queue = BoundedQueue("q", capacity=2, servers=1)
+        queue.offer(0.0, 10.0)             # in service
+        queue.offer(0.0, 10.0)             # waiting (1)
+        queue.offer(0.0, 10.0)             # waiting (2) == capacity
+        with pytest.raises(QueueFullError):
+            queue.offer(0.0, 10.0)
+        assert queue.stats.rejected == 1
+        assert queue.stats.admitted == 3
+
+    def test_depth_drains_as_time_passes(self):
+        queue = BoundedQueue("q", capacity=8, servers=1)
+        for _ in range(4):
+            queue.offer(0.0, 1.0)
+        assert queue.depth(0.0) == 3
+        assert queue.depth(1.5) == 2
+        assert queue.depth(10.0) == 0
+
+    def test_out_of_order_offers_rejected(self):
+        queue = BoundedQueue("q", capacity=4)
+        queue.offer(5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            queue.offer(4.0, 1.0)
+
+    def test_expected_wait_matches_next_placement(self):
+        queue = BoundedQueue("q", capacity=8, servers=1)
+        queue.offer(0.0, 2.0)
+        assert queue.expected_wait(0.5) == pytest.approx(1.5)
+        assert queue.offer(0.5, 1.0).wait_s == pytest.approx(1.5)
+
+    def test_screened_reject_counts_and_raises(self):
+        queue = BoundedQueue("q", capacity=4)
+        with pytest.raises(QueueFullError):
+            queue.reject(0.0)
+        assert queue.stats.offered == 1
+        assert queue.stats.rejected == 1
+
+    def test_reset_forgets_schedule_and_stats(self):
+        queue = BoundedQueue("q", capacity=4, servers=1)
+        queue.offer(0.0, 5.0)
+        queue.offer(0.0, 5.0)
+        queue.reset()
+        assert queue.depth(0.0) == 0
+        assert queue.stats.offered == 0
+        assert queue.offer(0.0, 1.0).wait_s == 0.0
+
+
+class TestPriorityDiscipline:
+    def test_best_effort_hits_the_unreserved_limit_first(self):
+        queue = BoundedQueue(
+            "q", capacity=4, servers=1, discipline="priority",
+            reserve_fraction=0.5,
+        )
+        queue.offer(0.0, 10.0)                      # in service
+        queue.offer(0.0, 10.0, priority=0)          # waiting 1
+        queue.offer(0.0, 10.0, priority=0)          # waiting 2 == limit
+        with pytest.raises(QueueFullError):
+            queue.offer(0.0, 10.0, priority=0)      # best effort refused
+        queue.offer(0.0, 10.0, priority=1)          # reserved room remains
+        queue.offer(0.0, 10.0, priority=1)
+        with pytest.raises(QueueFullError):
+            queue.offer(0.0, 10.0, priority=1)      # full outright
+
+    def test_full_is_priority_aware(self):
+        queue = BoundedQueue(
+            "q", capacity=4, servers=1, discipline="priority",
+            reserve_fraction=0.5,
+        )
+        queue.offer(0.0, 10.0)
+        queue.offer(0.0, 10.0)
+        queue.offer(0.0, 10.0)
+        assert queue.full(0.0, priority=0)
+        assert not queue.full(0.0, priority=1)
+
+
+class TestStats:
+    def test_mean_wait_over_admitted(self):
+        queue = BoundedQueue("q", capacity=8, servers=1)
+        queue.offer(0.0, 1.0)
+        queue.offer(0.0, 1.0)   # waits 1.0
+        queue.offer(0.0, 1.0)   # waits 2.0
+        assert queue.stats.mean_wait_s == pytest.approx(1.0)
+        assert queue.stats.busy_s == pytest.approx(3.0)
+        assert queue.stats.max_depth == 2

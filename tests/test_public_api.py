@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.faults",
     "repro.harness",
     "repro.network",
+    "repro.overload",
     "repro.sites",
     "repro.workload",
 ]

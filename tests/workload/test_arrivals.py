@@ -1,5 +1,6 @@
 """Tests for arrival processes."""
 
+import math
 import random
 
 import pytest
@@ -8,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.workload.arrivals import (
     BurstyProcess,
     DeterministicProcess,
+    FlashCrowdProcess,
     PoissonProcess,
 )
 
@@ -66,3 +68,60 @@ class TestBurstyProcess:
             BurstyProcess(burst_rate=0, idle_gap=1.0)
         with pytest.raises(ConfigurationError):
             BurstyProcess(burst_rate=1.0, idle_gap=1.0, burst_length=0.5)
+
+
+class TestFlashCrowdProcess:
+    def make(self, **kwargs):
+        defaults = dict(
+            base_rate=10.0, multiplier=10.0, burst_at=10.0,
+            hold_s=5.0, decay_s=2.0,
+        )
+        defaults.update(kwargs)
+        return FlashCrowdProcess(**defaults)
+
+    def test_rate_is_piecewise(self):
+        process = self.make()
+        assert process.rate(0.0) == pytest.approx(10.0)
+        assert process.rate(9.99) == pytest.approx(10.0)
+        assert process.rate(10.0) == pytest.approx(100.0)   # burst begins
+        assert process.rate(14.99) == pytest.approx(100.0)  # still holding
+        # Exponential decay back toward baseline after the hold window.
+        assert 10.0 < process.rate(16.0) < 100.0
+        assert process.rate(17.0) == pytest.approx(10.0 * (1 + 9 * math.exp(-1.0)))
+        assert process.rate(100.0) == pytest.approx(10.0, rel=1e-3)
+
+    def test_deterministic_arrivals_are_monotone_and_dense_in_burst(self):
+        process = self.make(deterministic=True)
+        times = list(process.arrival_times(random.Random(0), 400))
+        assert times == sorted(times)
+        pre = sum(1 for t in times if 0.0 <= t < 10.0)
+        burst = sum(1 for t in times if 10.0 <= t < 15.0)
+        # 10 req/s for 10 s vs 100 req/s for 5 s.
+        assert pre == pytest.approx(100, abs=2)
+        assert burst == pytest.approx(500 - 100, abs=2) or burst == 300
+        assert burst / 5.0 > (pre / 10.0) * 5   # at least 5x denser
+
+    def test_random_arrivals_reproducible_and_denser_in_burst(self):
+        process = self.make()
+        a = list(process.arrival_times(random.Random(7), 300))
+        b = list(process.arrival_times(random.Random(7), 300))
+        assert a == b
+        pre_rate = sum(1 for t in a if t < 10.0) / 10.0
+        burst = [t for t in a if 10.0 <= t < 15.0]
+        if burst:
+            assert len(burst) / 5.0 > pre_rate * 3
+
+    def test_no_burst_multiplier_one_is_flat(self):
+        process = self.make(multiplier=1.0)
+        for t in (0.0, 10.0, 12.0, 30.0):
+            assert process.rate(t) == pytest.approx(10.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            FlashCrowdProcess(base_rate=0)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdProcess(base_rate=1.0, multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdProcess(base_rate=1.0, burst_at=-1.0)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdProcess(base_rate=1.0, decay_s=0)
