@@ -187,18 +187,16 @@ class BackEndMonitor:
             and now >= self.deadline_at
         ):
             # The request is already late: a full regeneration can only
-            # make it later.  Prefer whatever the directory still holds —
-            # fresh, or TTL-expired within the degrader's grace window.
-            # Checked via the non-mutating stale probe *before* lookup()
-            # so lazy TTL expiry cannot free the slot out from under the
-            # GET we are about to emit.
+            # make it later.  Prefer whatever the directory still holds.
+            # A TTL-expired entry within the degrader's grace window is
+            # served via the non-mutating stale probe *before* lookup() so
+            # lazy TTL expiry cannot free the slot out from under the GET
+            # we are about to emit; a still-fresh entry falls through to
+            # the normal lookup() below so it keeps its recency and hit
+            # bookkeeping instead of becoming a preferential LRU victim.
             stale = self._degrader.stale_lookup(fragment_id, now)
-            if stale is not None:
-                if stale.fresh(now):
-                    self.stats.fragment_hits += 1
-                    self.stats.bytes_served_from_dpc += stale.size_bytes
-                else:
-                    self.stats.stale_fragment_serves += 1
+            if stale is not None and not stale.fresh(now):
+                self.stats.stale_fragment_serves += 1
                 return GetInstruction(stale.dpc_key)
         entry = self.directory.lookup(fragment_id, now)
         if entry is not None:

@@ -83,6 +83,18 @@ class CircuitBreaker:
             self.stats.closes += 1
         self._probe_in_flight = False
 
+    def release(self, now: float) -> None:
+        """Return a granted slot whose request never reached the origin.
+
+        A caller that passed :meth:`allow` may still be stopped by a later
+        gate (e.g. the admission policy) before the trip happens.  That is
+        no verdict on origin health — the half-open probe slot is simply
+        handed back so the next origin-bound request can claim it.
+        """
+        if self._probe_in_flight:
+            self._probe_in_flight = False
+            self.stats.probes -= 1
+
     def record_failure(self, now: float) -> None:
         """An origin trip failed (queue full / deadline blown): trip if due."""
         self._consecutive_failures += 1

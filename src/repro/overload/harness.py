@@ -31,6 +31,7 @@ the fault subsystem treats stale fragment bytes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
@@ -49,11 +50,16 @@ OUTCOMES = ("fresh", "stale", "shed", "timed_out")
 
 
 def percentile(values: List[float], q: float) -> float:
-    """The ``q``-quantile (q in [0, 1]) of a sample; 0.0 when empty."""
+    """The ``q``-quantile (q in [0, 1]) of a sample; 0.0 when empty.
+
+    Nearest-rank (ceil(q*n)) so small-sample tails are not systematically
+    overstated: p99 of 50 values is the 50th rank only when q*n rounds up
+    past 49, and p50 of an even-length sample takes the lower middle rank.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[index]
 
 
@@ -102,7 +108,9 @@ class OverloadConfig:
         if self.correctness_every < 0:
             raise ConfigurationError("correctness_every cannot be negative")
         if self.deadline_s is not None:
-            self.testbed.deadline_s = self.deadline_s
+            # Private copy: the caller's TestbedConfig must not inherit
+            # this run's deadline.
+            self.testbed = replace(self.testbed, deadline_s=self.deadline_s)
 
 
 @dataclass
@@ -294,15 +302,23 @@ class OverloadHarness:
         if predicted_hit:
             request = replace(request, priority=1)
         gated = not predicted_hit and tb.dpc is not None
-        if gated and self.breaker is not None and not self.breaker.allow(now):
-            # Brown-out: the breaker holds origin-bound regeneration work.
-            if self.degrader is not None:
-                self.degrader.record_brownout()
-            outcome, html = self._degrade(request, now, "breaker_open")
-            return outcome, html, predicted_hit
+        breaker_granted = False
+        if gated and self.breaker is not None:
+            if not self.breaker.allow(now):
+                # Brown-out: the breaker holds origin-bound regeneration work.
+                if self.degrader is not None:
+                    self.degrader.record_brownout()
+                outcome, html = self._degrade(request, now, "breaker_open")
+                return outcome, html, predicted_hit
+            breaker_granted = True
         if gated and self.policy is not None and not self.policy.admit(
             now, self.app_queue.depth(arrival), self.app_queue.expected_wait(arrival)
         ):
+            if breaker_granted:
+                # The trip never happened: hand back the (possibly
+                # half-open probe) slot so the breaker cannot wedge on a
+                # phantom in-flight probe.
+                self.breaker.release(now)
             outcome, html = self._degrade(request, now, "policy_shed")
             return outcome, html, predicted_hit
 
@@ -330,15 +346,18 @@ class OverloadHarness:
                 self.breaker.record_failure(now)
             else:
                 self.breaker.record_success(now)
-        if self._stale_fragments_served(timed):
+        stale_fragments = self._stale_fragments_served(timed)
+        if late:
+            # A page past its deadline is not a success, even when stale
+            # fragments were leaned on along the way.  The template still
+            # reached the DPC (the cache stays warm) but the client-visible
+            # page goes through the deadline path.
+            outcome, html = self._degrade(request, now, "deadline_exceeded")
+            return outcome, html, predicted_hit
+        if stale_fragments:
             # The BEM's deadline-pressure path substituted stale fragments;
             # the page is delivered but counts as correctness exposure.
             return "stale", html, predicted_hit
-        if late:
-            # The template still reached the DPC (the cache stays warm) but
-            # the client-visible page missed its deadline.
-            outcome, html = self._degrade(request, now, "deadline_exceeded")
-            return outcome, html, predicted_hit
         return "fresh", html, predicted_hit
 
     def _degrade(

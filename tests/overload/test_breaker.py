@@ -68,3 +68,36 @@ class TestHalfOpen:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ConfigurationError):
             CircuitBreaker(open_s=0)
+
+
+class TestRelease:
+    """A granted probe shed before the origin trip must be handed back."""
+
+    def make_open(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_s=1.0)
+        breaker.record_failure(0.0)
+        return breaker
+
+    def test_release_returns_half_open_probe_slot(self):
+        breaker = self.make_open()
+        assert breaker.allow(1.5)           # probe slot granted
+        breaker.release(1.5)                # ...but shed by a later gate
+        assert breaker.state == HALF_OPEN
+        assert breaker.stats.probes == 0    # the probe never went out
+        assert breaker.allow(1.6)           # the slot is claimable again
+
+    def test_release_is_no_verdict(self):
+        breaker = self.make_open()
+        assert breaker.allow(1.5)
+        breaker.release(1.5)
+        # Releasing neither heals (no close) nor trips (no re-open).
+        assert breaker.stats.closes == 0
+        assert breaker.stats.opens == 1
+
+    def test_release_while_closed_is_noop(self):
+        breaker = CircuitBreaker()
+        assert breaker.allow(0.0)
+        breaker.release(0.0)
+        assert breaker.state == CLOSED
+        assert breaker.stats.probes == 0
+        assert breaker.allow(0.1)

@@ -23,6 +23,8 @@ from repro.overload import (
     StaticThresholdPolicy,
     run_overload,
 )
+from repro.overload.admission import AdmissionPolicy
+from repro.overload.harness import percentile
 from repro.sites.synthetic import SyntheticParams
 from repro.workload import FlashCrowdProcess
 
@@ -173,3 +175,54 @@ class TestBrownOut:
 
     def test_conservation_under_brownout(self, brownout_run):
         assert brownout_run.conserved
+
+
+class ShedAllPolicy(AdmissionPolicy):
+    """Worst-case admission: every origin-bound request is shed."""
+
+    name = "shed-all"
+
+    def admit(self, now, depth, wait_s):
+        return self._account(False)
+
+
+class TestHarnessRegressions:
+    def test_policy_shed_returns_half_open_probe_slot(self):
+        """A probe granted by the half-open breaker but shed by the policy
+        must be handed back — otherwise the breaker wedges on a phantom
+        in-flight probe and refuses all origin work for the rest of the
+        run."""
+        breaker = CircuitBreaker(failure_threshold=1, open_s=0.5)
+        breaker.record_failure(0.0)  # the run starts browned out
+        config = OverloadConfig(
+            testbed=TestbedConfig(
+                mode="dpc", synthetic=PARAMS, target_hit_ratio=0.5,
+                requests=100, warmup_requests=0,
+            ),
+            deadline_s=DEADLINE_S,
+            policy=ShedAllPolicy(),
+            breaker=breaker,
+            serve_stale_pages=False,
+            correctness_every=0,
+        )
+        result = run_overload(config)
+        assert result.conserved
+        # Every cool-down grants a fresh probe that the policy sheds; a
+        # leaked probe would cap this at one.
+        assert result.policy_shed >= 2
+        # And the breaker can still half-open after the run.
+        assert breaker.allow(1e9)
+
+    def test_caller_testbed_config_is_not_mutated(self):
+        testbed = make_testbed("dpc")
+        assert testbed.deadline_s is None
+        config = OverloadConfig(testbed=testbed, deadline_s=2.0)
+        assert config.testbed.deadline_s == 2.0
+        assert testbed.deadline_s is None
+
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0  # not the sample max
+        assert percentile([1.0, 2.0], 0.50) == 1.0
+        assert percentile([], 0.50) == 0.0
