@@ -6,7 +6,9 @@ Shows the operational surface around the caching machinery:
 1. warm a cold proxy with the site's hottest pages before rotation;
 2. take a deployment snapshot under live traffic;
 3. recover from a proxy restart with the documented protocol
-   (clear the DPC *and* flush the BEM — half-measures fail loudly).
+   (clear the DPC *and* flush the BEM — half-measures fail loudly);
+4. trace a cold miss and a warm hit span by span in virtual time
+   (docs/OBSERVABILITY.md).
 
 Run:  python examples/operations.py
 """
@@ -15,10 +17,13 @@ from repro.appserver import HttpRequest
 from repro.core import BackEndMonitor, DynamicProxyCache
 from repro.errors import AssemblyError
 from repro.harness.monitoring import take_snapshot
+from repro.harness.testbed import Testbed, TestbedConfig
 from repro.harness.warming import CacheWarmer
 from repro.network import SimulatedClock
 from repro.network.latency import FREE
 from repro.sites import books
+from repro.sites.synthetic import SyntheticParams
+from repro.telemetry import render_span_tree
 from repro.workload import PageSpec
 
 
@@ -80,6 +85,21 @@ def main():
         HttpRequest("/home.jsp", session_id="unlucky")
     )
     print("  recovered; page correct:", page.html == oracle)
+
+    print("\n=== 4. tracing a miss and a hit (virtual time) ===")
+    testbed = Testbed(
+        TestbedConfig(
+            mode="dpc",
+            synthetic=SyntheticParams(num_pages=4, fragments_per_page=4,
+                                      fragment_size=1024, cacheability=1.0),
+            tracing=True,
+        )
+    )
+    request = testbed.build_workload().materialize(1)[0].request
+    for label in ("cold miss", "warm hit"):
+        testbed.serve_once(request)
+        print("  -- %s --" % label)
+        print(render_span_tree(testbed.tracer.last_root, indent="    "))
 
 
 if __name__ == "__main__":

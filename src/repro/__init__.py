@@ -14,13 +14,23 @@ Quick taste::
     result = run_testbed(TestbedConfig(mode="dpc", requests=500))
     print(result.response_payload_bytes, result.measured_hit_ratio)
 
+Observability (see :mod:`repro.telemetry` and docs/OBSERVABILITY.md)::
+
+    from repro.harness.testbed import Testbed, TestbedConfig
+    from repro.telemetry import render_span_tree
+
+    testbed = Testbed(TestbedConfig(mode="dpc", tracing=True))
+    timed = testbed.build_workload().materialize(1)[0]
+    testbed.serve_once(timed.request)
+    print(render_span_tree(testbed.tracer.last_root))
+
 See README.md for the architecture tour and DESIGN.md for the module map.
 """
 
 __version__ = "1.0.0"
 
 from . import analysis, appserver, baselines, cms, core, database, faults
-from . import harness, network, overload, sites, workload
+from . import harness, network, overload, sites, telemetry, workload
 from .errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -47,6 +57,7 @@ __all__ = [
     "network",
     "overload",
     "sites",
+    "telemetry",
     "workload",
     "CircuitOpenError",
     "DeadlineExceededError",

@@ -63,6 +63,12 @@ class ScriptContext:
         self.tiers = TierAccounting()
         #: Accumulated server-side generation time (virtual seconds).
         self.generation_cost_s = cost_model.request_dispatch_s
+        #: The database's share of ``generation_cost_s`` (connection waits
+        #: plus per-row charges), so tracing can break out a ``db.query``
+        #: span from pure compute.
+        self.db_cost_s = 0.0
+        #: Rows the database touched on behalf of this request's blocks.
+        self.db_rows = 0
 
     # -- page writing -----------------------------------------------------------
 
@@ -99,6 +105,10 @@ class ScriptContext:
                 cross_tier_hops=max(hops, 1),
                 needs_db_connection=rows > 0,
             )
+            self.db_cost_s += self.cost_model.db_block_cost(
+                db_rows=rows, needs_db_connection=rows > 0
+            )
+            self.db_rows += rows
             return content
 
         hits_before = self.builder.stats.hits

@@ -23,6 +23,7 @@ from ..core.template import DEFAULT_CONFIG, TemplateConfig
 from ..errors import DeadlineExceededError, OverloadError, ScriptError
 from ..network.clock import SimulatedClock
 from ..network.latency import GenerationCostModel
+from ..telemetry.tracing import NULL_TRACER
 from .http import DEFAULT_RESPONSE_HEADER_BYTES, HttpRequest, HttpResponse
 from .scripts import DynamicScript, ScriptContext, ScriptRegistry, SiteServices
 from .session import SessionManager
@@ -63,6 +64,11 @@ class ApplicationServer:
         self.sessions = SessionManager(self.clock)
         self.requests_served = 0
         self.total_generation_s = 0.0
+        #: Tracer breaking origin-side work into ``bem.process`` →
+        #: ``script.exec`` → ``script.compute``/``db.query`` spans.  When
+        #: left disabled the generation advance stays one combined call,
+        #: preserving the exact float arithmetic of untraced runs.
+        self.tracer = NULL_TRACER
         #: Only a real BEM emits GET/SET tags; other monitors (e.g. the
         #: back-end fragment cache baseline) produce client-ready pages
         #: that must ship raw, without template escaping.
@@ -88,7 +94,24 @@ class ApplicationServer:
         service start already misses their deadline raise
         :class:`~repro.errors.DeadlineExceededError` — both *before* any
         script work runs, so rejections have no side effects.
+
+        With tracing enabled the same work is reported as a ``bem.process``
+        span containing ``script.exec`` (itself split into
+        ``script.compute`` and ``db.query`` leaves, plus any ``queue.wait``
+        the connection pool injected mid-script) and origin-side
+        ``queue.wait`` spans — every clock advance lands in a leaf, so the
+        tree tiles exactly.
         """
+        with self.tracer.span("bem.process", path=request.path) as process_span:
+            response = self._handle_inner(request)
+            process_span.annotate(
+                mode=response.meta["mode"],
+                hits=response.meta["hits"],
+                misses=response.meta["misses"],
+            )
+            return response
+
+    def _handle_inner(self, request: HttpRequest) -> HttpResponse:
         script = self.scripts.resolve(request.path)
         arrival = (
             request.arrived_at if request.arrived_at is not None
@@ -108,25 +131,31 @@ class ApplicationServer:
             bem=self.bem,
         )
         rows_before = self.services.db.total_rows_read()
-        if self.bem is not None:
-            self.bem.deadline_at = request.deadline_at
-        try:
-            script.run(ctx)
-        except Exception as exc:
-            if isinstance(exc, (ScriptError, OverloadError)):
-                raise
-            raise ScriptError(
-                "script %r failed: %s" % (request.path, exc)
-            ) from exc
-        finally:
+        with self.tracer.span("script.exec"):
             if self.bem is not None:
-                self.bem.deadline_at = None
+                self.bem.deadline_at = request.deadline_at
+            try:
+                script.run(ctx)
+            except Exception as exc:
+                if isinstance(exc, (ScriptError, OverloadError)):
+                    raise
+                raise ScriptError(
+                    "script %r failed: %s" % (request.path, exc)
+                ) from exc
+            finally:
+                if self.bem is not None:
+                    self.bem.deadline_at = None
 
-        template = builder.finish()
-        if self.emit_templates:
-            body = template.serialize()
-        else:
-            body = builder.full_page()
+            template = builder.finish()
+            if self.emit_templates:
+                body = template.serialize()
+            else:
+                body = builder.full_page()
+            if self.tracer.enabled:
+                with self.tracer.span("script.compute"):
+                    self.clock.advance(ctx.generation_cost_s - ctx.db_cost_s)
+                with self.tracer.span("db.query", rows=ctx.db_rows):
+                    self.clock.advance(ctx.db_cost_s)
         app_wait_s = db_wait_s = 0.0
         if self.queue is not None:
             app_wait_s = self.queue.offer(
@@ -141,7 +170,15 @@ class ApplicationServer:
             db_wait_s = self.db_queue.offer(
                 arrival, db_service_s, request.priority
             ).wait_s
-        self.clock.advance(ctx.generation_cost_s + app_wait_s + db_wait_s)
+        if self.tracer.enabled:
+            if app_wait_s > 0:
+                with self.tracer.span("queue.wait", queue="appserver"):
+                    self.clock.advance(app_wait_s)
+            if db_wait_s > 0:
+                with self.tracer.span("queue.wait", queue="db_pool"):
+                    self.clock.advance(db_wait_s)
+        else:
+            self.clock.advance(ctx.generation_cost_s + app_wait_s + db_wait_s)
         self.requests_served += 1
         self.total_generation_s += ctx.generation_cost_s
 

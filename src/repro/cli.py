@@ -34,7 +34,7 @@ from .harness.reporting import print_table
 #: Artifact names accepted on the command line, in run order for 'all'.
 ARTIFACTS = (
     "table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig5", "fig6",
-    "case-study", "edge",
+    "case-study", "edge", "trace",
 )
 
 
@@ -146,6 +146,31 @@ def _run_edge(args) -> None:
     )
 
 
+def _run_trace(args) -> None:
+    from .harness.monitoring import take_snapshot
+    from .harness.testbed import Testbed, TestbedConfig
+    from .telemetry import render_metrics, render_span_tree
+
+    requests = min(args.requests, 50)
+    testbed = Testbed(
+        TestbedConfig(mode="dpc", requests=requests, warmup_requests=0,
+                      tracing=True)
+    )
+    testbed.run()
+    print("Span tree of the last traced request (virtual time):")
+    print()
+    print(render_span_tree(testbed.tracer.last_root))
+    print()
+    snapshot = take_snapshot(
+        bem=testbed.monitor,
+        dpc=testbed.dpc,
+        firewall=testbed.firewall,
+        sniffer=testbed.sniffer,
+        tracer=testbed.tracer,
+    )
+    print(render_metrics(snapshot.rows, title="Deployment metrics"))
+
+
 _RUNNERS = {
     "table2": _run_table2,
     "fig2a": _run_fig2a,
@@ -156,6 +181,7 @@ _RUNNERS = {
     "fig6": _run_fig6,
     "case-study": _run_case_study,
     "edge": _run_edge,
+    "trace": _run_trace,
 }
 
 

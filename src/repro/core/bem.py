@@ -20,7 +20,7 @@ interdependence that defeats ESI-style page factoring.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..network.clock import SimulatedClock
@@ -252,3 +252,34 @@ class BackEndMonitor:
     def hit_ratio(self) -> float:
         """Directory hits over all cacheable-block accesses."""
         return self.stats.fragment_hit_ratio
+
+    def metric_rows(self) -> List[tuple]:
+        """Registry rows: the BEM's health under ``bem.*``/``directory.*``.
+
+        Same rows, order, and rounding the deployment snapshot always
+        published (``objects.memoized`` now spelled ``bem.objects.memoized``
+        per the dotted-name normalization).
+        """
+        return [
+            ("bem.epoch", self.epoch),
+            ("bem.blocks_processed", self.stats.blocks_processed),
+            ("bem.fragment_hits", self.stats.fragment_hits),
+            ("bem.fragment_misses", self.stats.fragment_misses),
+            ("bem.hit_ratio", round(self.stats.fragment_hit_ratio, 4)),
+            ("bem.bytes_generated", self.stats.bytes_generated),
+            ("bem.bytes_served_from_dpc", self.stats.bytes_served_from_dpc),
+            ("directory.valid_entries", self.directory.valid_count()),
+            ("directory.capacity", self.directory.capacity),
+            (
+                "directory.utilization",
+                round(self.directory.valid_count() / self.directory.capacity, 4),
+            ),
+            ("directory.evictions", self.directory.stats.evictions),
+            ("directory.invalidations", self.directory.stats.invalidations),
+            ("directory.ttl_expirations", self.directory.stats.ttl_expirations),
+            (
+                "invalidation.fragments_invalidated",
+                self.invalidation.fragments_invalidated,
+            ),
+            ("bem.objects.memoized", len(self.objects)),
+        ]

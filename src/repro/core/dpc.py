@@ -221,6 +221,34 @@ class DynamicProxyCache:
         """Total response bytes KMP-scanned so far."""
         return self.scanner.bytes_scanned
 
+    def metric_rows(self) -> List[tuple]:
+        """Registry rows: the proxy cache's health under ``dpc.*``.
+
+        Same rows, order, and rounding the deployment snapshot always
+        published (the savings ratio appears only once pages have been
+        emitted, as before).
+        """
+        rows: List[tuple] = [
+            ("dpc.epoch", self.epoch),
+            ("dpc.responses_processed", self.stats.responses_processed),
+            ("dpc.template_bytes_in", self.stats.template_bytes_in),
+            ("dpc.page_bytes_out", self.stats.page_bytes_out),
+            ("dpc.bytes_saved", self.stats.bytes_saved),
+        ]
+        if self.stats.page_bytes_out:
+            rows.append((
+                "dpc.byte_savings_ratio",
+                round(self.stats.bytes_saved / self.stats.page_bytes_out, 4),
+            ))
+        rows.extend([
+            ("dpc.fragments_set", self.stats.fragments_set),
+            ("dpc.fragments_get", self.stats.fragments_get),
+            ("dpc.slots_occupied", self.occupied_slots()),
+            ("dpc.capacity", self.capacity),
+            ("dpc.bytes_scanned", self.bytes_scanned),
+        ])
+        return rows
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "DynamicProxyCache(%r, %d/%d slots)" % (
             self.name,

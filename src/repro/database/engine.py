@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import QueryError, SchemaError
+from ..telemetry.tracing import NULL_TRACER
 from .transactions import TransactionManager, undo_event_on
 from .schema import TableSchema
 from .sql import (
@@ -66,6 +67,9 @@ class Database:
         #: Cumulative virtual seconds statements spent waiting for a
         #: connection (only grows while a bounded queue is attached).
         self.queue_wait_s = 0.0
+        #: Tracer wrapping connection-pool waits in ``queue.wait`` spans
+        #: (the only place the engine advances the shared clock).
+        self.tracer = NULL_TRACER
 
     # -- bounded connection pool --------------------------------------------------
 
@@ -197,7 +201,8 @@ class Database:
             placement = self._queue.offer(self._queue_clock.now(), service_s)
             if placement.wait_s > 0:
                 self.queue_wait_s += placement.wait_s
-                self._queue_clock.advance(placement.wait_s)
+                with self.tracer.span("queue.wait", queue="db"):
+                    self._queue_clock.advance(placement.wait_s)
         return result
 
     # -- SELECT ---------------------------------------------------------------
@@ -325,6 +330,15 @@ class Database:
     def total_rows_written(self) -> int:
         """Rows written across all tables since the last reset."""
         return sum(table.rows_written for table in self._tables.values())
+
+    def metric_rows(self) -> List[Tuple[str, object]]:
+        """Registry rows: execution and wait totals under ``db.*``."""
+        return [
+            ("db.statements_executed", self.statements_executed),
+            ("db.rows_read", self.total_rows_read()),
+            ("db.queue_wait_s", round(self.queue_wait_s, 6)),
+            ("db.tables", len(self._tables)),
+        ]
 
     def reset_counters(self) -> None:
         """Zero statement and row counters on every table."""

@@ -185,7 +185,10 @@ class ChaosHarness:
         self.resync = ResyncProtocol(self.testbed.monitor, self.testbed.dpc)
         self.degrader = GracefulDegrader(bem=self.testbed.monitor)
         self.delivery = ReliableDelivery(
-            config.retry, clock=self.testbed.clock, seed=config.seed
+            config.retry,
+            clock=self.testbed.clock,
+            seed=config.seed,
+            tracer=self.testbed.tracer,
         )
         self.schedule = FaultSchedule(config.faults)
         self.context = FaultContext(
@@ -233,6 +236,21 @@ class ChaosHarness:
     # -- per-request fault-aware pipeline ------------------------------------
 
     def _serve(self, request, bucket: ChaosBucket) -> Tuple[Optional[str], str]:
+        """One request under faults, beneath a trace root.
+
+        The whole fault-aware pipeline — bypass, retries, fail-stop
+        recovery — runs inside one ``request`` span annotated with how the
+        page was ultimately produced; a request that fails outright leaves
+        a root whose status records the escaping error.
+        """
+        with self.testbed.tracer.request_span(request, harness="chaos") as root:
+            html, kind = self._serve_inner(request, bucket)
+            root.annotate(kind=kind, epoch=self.testbed.monitor.epoch)
+            return html, kind
+
+    def _serve_inner(
+        self, request, bucket: ChaosBucket
+    ) -> Tuple[Optional[str], str]:
         tb = self.testbed
         if self.schedule.proxy_down(tb.clock.now()):
             if not self.config.bypass_when_down:
@@ -247,7 +265,8 @@ class ChaosHarness:
         except AssemblyError:
             # Fail-stop tripped: the directory references slots the DPC no
             # longer holds.  Run recovery, then retry the request once.
-            self.resync.recover(tb.clock.now())
+            with tb.tracer.span("faults.recover", trigger="assembly_error"):
+                self.resync.recover(tb.clock.now())
             bucket.recoveries += 1
             try:
                 assembled = self._serve_assembled(request)
@@ -271,7 +290,8 @@ class ChaosHarness:
         """The testbed pipeline with fault-aware, retried transfers."""
         tb = self.testbed
         config = self.config.testbed
-        tb.clock.advance(tb.firewall.scan_bytes(request.payload_bytes))
+        with tb.tracer.span("firewall.scan", direction="request"):
+            tb.clock.advance(tb.firewall.scan_bytes(request.payload_bytes))
         self.delivery.deliver(
             lambda: tb.origin_link.send(
                 request_message(
@@ -297,22 +317,29 @@ class ChaosHarness:
             # later serve a predecessor fragment's bytes.
             self.resync.quarantine_undelivered(response.body, tb.clock.now())
             raise
-        tb.clock.advance(tb.firewall.scan_bytes(response.payload_bytes))
-        scanned_before = tb.dpc.bytes_scanned
-        assembled = tb.dpc.process_response(response.body)
-        scan_bytes = tb.dpc.bytes_scanned - scanned_before
-        tb.clock.advance(
-            scan_bytes * tb.firewall.scan_cost_per_byte
-            + config.cost_model.assembly_cost(
-                assembled.fragments_set + assembled.fragments_get
+        with tb.tracer.span("firewall.scan", direction="response"):
+            tb.clock.advance(tb.firewall.scan_bytes(response.payload_bytes))
+        with tb.tracer.span("dpc.assemble") as assemble_span:
+            scanned_before = tb.dpc.bytes_scanned
+            assembled = tb.dpc.process_response(response.body)
+            scan_bytes = tb.dpc.bytes_scanned - scanned_before
+            tb.clock.advance(
+                scan_bytes * tb.firewall.scan_cost_per_byte
+                + config.cost_model.assembly_cost(
+                    assembled.fragments_set + assembled.fragments_get
+                )
             )
-        )
+            assemble_span.annotate(
+                fragments_set=assembled.fragments_set,
+                fragments_get=assembled.fragments_get,
+            )
         return assembled
 
     def _serve_bypass(self, request) -> str:
         """The paper's fallback: origin generates the full page, uncached."""
         tb = self.testbed
-        tb.clock.advance(tb.firewall.scan_bytes(request.payload_bytes))
+        with tb.tracer.span("firewall.scan", direction="request"):
+            tb.clock.advance(tb.firewall.scan_bytes(request.payload_bytes))
         self.delivery.deliver(
             lambda: tb.origin_link.send(
                 request_message(
@@ -330,7 +357,8 @@ class ChaosHarness:
                 )
             )
         )
-        tb.clock.advance(tb.firewall.scan_bytes(page_bytes))
+        with tb.tracer.span("firewall.scan", direction="response"):
+            tb.clock.advance(tb.firewall.scan_bytes(page_bytes))
         self.degrader.record_bypass(page_bytes)
         return html
 

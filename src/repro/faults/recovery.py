@@ -208,8 +208,8 @@ class ResyncProtocol:
 
     # -- observability ------------------------------------------------------
 
-    def snapshot_rows(self) -> Iterable[Tuple[str, object]]:
-        """Metric rows for :func:`repro.harness.monitoring.take_snapshot`."""
+    def metric_rows(self) -> Iterable[Tuple[str, object]]:
+        """Registry rows: resync bookkeeping under ``recovery.*``."""
         return [
             ("recovery.synced_epoch", self.bem.epoch),
             ("recovery.dpc_epoch", self.dpc.epoch),
@@ -221,3 +221,6 @@ class ResyncProtocol:
             ("recovery.keys_reclaimed", self.stats.keys_reclaimed),
             ("recovery.quarantined_sets", self.stats.quarantined_sets),
         ]
+
+    #: Backwards-compatible alias for pre-registry snapshot callers.
+    snapshot_rows = metric_rows

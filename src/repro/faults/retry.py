@@ -18,6 +18,7 @@ from typing import Callable, Optional, TypeVar
 
 from ..errors import ConfigurationError, DeliveryTimeoutError, NetworkError
 from ..network.clock import SimulatedClock
+from ..telemetry.tracing import NULL_TRACER
 
 T = TypeVar("T")
 
@@ -91,11 +92,15 @@ class ReliableDelivery:
         policy: Optional[RetryPolicy] = None,
         clock: Optional[SimulatedClock] = None,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         self.policy = policy if policy is not None else RetryPolicy()
         self.clock = clock
         self.stats = DeliveryStats()
         self._rng = random.Random(seed)
+        #: Tracer wrapping backoff waits in ``retry.backoff`` spans, so the
+        #: virtual time retries burn stays attributed in span trees.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def deliver(self, send: Callable[[], T]) -> T:
         """Attempt ``send()`` until it succeeds or the policy is exhausted."""
@@ -111,7 +116,8 @@ class ReliableDelivery:
                     delay = policy.delay_for(attempt, self._rng)
                     self.stats.total_backoff_s += delay
                     if self.clock is not None:
-                        self.clock.advance(delay)
+                        with self.tracer.span("retry.backoff", attempt=attempt):
+                            self.clock.advance(delay)
                 continue
             self.stats.deliveries += 1
             self.stats.retries += attempt

@@ -1,45 +1,88 @@
 """Operational monitoring: one snapshot across a whole deployment.
 
-Production caches live or die by their observability.  This module
-gathers the counters every component already keeps — BEM directory stats,
-DPC slot/byte stats, firewall scan work, Sniffer traffic — into a single
-structured snapshot with derived health indicators (hit ratio, byte
-savings, slot utilization), renderable as the same ASCII tables the bench
-harness prints.
+Production caches live or die by their observability.  Historically this
+module hand-copied every counter a component kept into an ad-hoc row list;
+it is now a thin view over :class:`repro.telemetry.MetricsRegistry`.  Each
+component publishes its own ``metric_rows()`` provider and
+:func:`take_snapshot` simply registers whichever components are given and
+collects — same rows, same order, same rendering, but one naming scheme
+(:data:`repro.telemetry.METRIC_NAMES`) and no duplicated bookkeeping.
+
+:class:`DeploymentSnapshot` survives as a **deprecated shim** so existing
+call sites keep working: ``add``/``get``/``names``/``render`` delegate to
+the backing registry, and ``add`` emits :class:`DeprecationWarning`
+(register a provider or use :meth:`~repro.telemetry.MetricsRegistry.record`
+instead).  The only name change relative to the pre-registry output is
+``objects.memoized`` → ``bem.objects.memoized``
+(:data:`repro.telemetry.DEPRECATED_ALIASES`); ``get`` resolves the old
+spelling with a warning.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import List, Optional, Tuple
 
 from ..core.bem import BackEndMonitor
 from ..core.dpc import DynamicProxyCache
 from ..network.firewall import Firewall
 from ..network.sniffer import Sniffer
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.naming import DEPRECATED_ALIASES
 from .reporting import format_table
 
 
-@dataclass
 class DeploymentSnapshot:
-    """Point-in-time health view of one BEM/DPC deployment."""
+    """Point-in-time health view of one BEM/DPC deployment.
 
-    rows: List[Tuple[str, object]] = field(default_factory=list)
+    .. deprecated::
+        Kept as a compatibility facade over
+        :class:`repro.telemetry.MetricsRegistry`.  New code should use the
+        registry directly (``registry.collect()`` /
+        :func:`repro.telemetry.render_metrics`).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def rows(self) -> List[Tuple[str, object]]:
+        """Every metric row, in provider registration order."""
+        return self.registry.collect()
 
     def add(self, name: str, value: object) -> None:
-        """Append one metric row."""
-        self.rows.append((name, value))
+        """Append one metric row.  Deprecated: use the registry."""
+        warnings.warn(
+            "DeploymentSnapshot.add() is deprecated; register a metric_rows()"
+            " provider or use MetricsRegistry.record() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.registry.record(name, value)
 
     def get(self, name: str) -> object:
-        """Look up a metric by name; raises KeyError if absent."""
-        for row_name, value in self.rows:
+        """Look up a metric by name; raises KeyError if absent.
+
+        Pre-registry spellings in
+        :data:`repro.telemetry.DEPRECATED_ALIASES` are resolved to their
+        canonical names with a :class:`DeprecationWarning`.
+        """
+        canonical = DEPRECATED_ALIASES.get(name)
+        for row_name, value in self.registry.collect():
             if row_name == name:
+                return value
+            if canonical is not None and row_name == canonical:
+                warnings.warn(
+                    "metric %r was renamed to %r" % (name, canonical),
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
                 return value
         raise KeyError(name)
 
     def names(self) -> List[str]:
         """All metric names, in collection order."""
-        return [name for name, _ in self.rows]
+        return [name for name, _ in self.registry.collect()]
 
     def render(self) -> str:
         """ASCII table of every collected metric."""
@@ -54,74 +97,30 @@ def take_snapshot(
     recovery=None,
     overload=None,
     channel=None,
+    db=None,
+    breaker=None,
+    tracer=None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentSnapshot:
     """Collect the current counters of whichever components are given.
 
-    ``recovery`` and ``overload`` are duck-typed (anything exposing
-    ``snapshot_rows()``, e.g. :class:`repro.faults.recovery.ResyncProtocol`
-    and :class:`repro.overload.accounting.DropLedger`) so that this module
-    stays import-independent of those subsystems.  ``channel`` is a
-    :class:`repro.network.channel.Channel`; its send/drop counters surface
-    so in-flight message loss is never silent.
+    A thin view over :class:`repro.telemetry.MetricsRegistry`: each non-None
+    component is registered as a row provider (they all expose
+    ``metric_rows()``) and the returned :class:`DeploymentSnapshot` reads
+    straight from ``registry.collect()``.  ``recovery``, ``overload``,
+    ``db``, ``breaker`` and ``tracer`` are duck-typed so this module stays
+    import-independent of those subsystems; ``breaker`` may be a
+    :class:`repro.overload.breaker.CircuitBreaker` (its ``stats`` carries
+    the rows) or the stats object itself.  Pass ``registry`` to accumulate
+    into an existing registry instead of a fresh one.
     """
-    snapshot = DeploymentSnapshot()
-    if bem is not None:
-        stats = bem.stats
-        snapshot.add("bem.epoch", bem.epoch)
-        snapshot.add("bem.blocks_processed", stats.blocks_processed)
-        snapshot.add("bem.fragment_hits", stats.fragment_hits)
-        snapshot.add("bem.fragment_misses", stats.fragment_misses)
-        snapshot.add("bem.hit_ratio", round(stats.fragment_hit_ratio, 4))
-        snapshot.add("bem.bytes_generated", stats.bytes_generated)
-        snapshot.add("bem.bytes_served_from_dpc", stats.bytes_served_from_dpc)
-        directory = bem.directory.stats
-        snapshot.add("directory.valid_entries", bem.directory.valid_count())
-        snapshot.add("directory.capacity", bem.directory.capacity)
-        snapshot.add(
-            "directory.utilization",
-            round(bem.directory.valid_count() / bem.directory.capacity, 4),
-        )
-        snapshot.add("directory.evictions", directory.evictions)
-        snapshot.add("directory.invalidations", directory.invalidations)
-        snapshot.add("directory.ttl_expirations", directory.ttl_expirations)
-        snapshot.add(
-            "invalidation.fragments_invalidated",
-            bem.invalidation.fragments_invalidated,
-        )
-        snapshot.add("objects.memoized", len(bem.objects))
-    if dpc is not None:
-        stats = dpc.stats
-        snapshot.add("dpc.epoch", dpc.epoch)
-        snapshot.add("dpc.responses_processed", stats.responses_processed)
-        snapshot.add("dpc.template_bytes_in", stats.template_bytes_in)
-        snapshot.add("dpc.page_bytes_out", stats.page_bytes_out)
-        snapshot.add("dpc.bytes_saved", stats.bytes_saved)
-        if stats.page_bytes_out:
-            snapshot.add(
-                "dpc.byte_savings_ratio",
-                round(stats.bytes_saved / stats.page_bytes_out, 4),
-            )
-        snapshot.add("dpc.fragments_set", stats.fragments_set)
-        snapshot.add("dpc.fragments_get", stats.fragments_get)
-        snapshot.add("dpc.slots_occupied", dpc.occupied_slots())
-        snapshot.add("dpc.capacity", dpc.capacity)
-        snapshot.add("dpc.bytes_scanned", dpc.bytes_scanned)
-    if firewall is not None:
-        snapshot.add("firewall.bytes_scanned", firewall.bytes_scanned)
-        snapshot.add("firewall.messages_scanned", firewall.messages_scanned)
-    if sniffer is not None:
-        snapshot.add("link.request_payload_bytes",
-                     sniffer.counters("request").payload_bytes)
-        snapshot.add("link.response_payload_bytes",
-                     sniffer.counters("response").payload_bytes)
-        snapshot.add("link.total_wire_bytes", sniffer.total_wire_bytes)
-    if recovery is not None:
-        for name, value in recovery.snapshot_rows():
-            snapshot.add(name, value)
-    if overload is not None:
-        for name, value in overload.snapshot_rows():
-            snapshot.add(name, value)
-    if channel is not None:
-        snapshot.add("channel.messages_sent", channel.messages_sent)
-        snapshot.add("channel.messages_dropped", channel.messages_dropped)
-    return snapshot
+    reg = registry if registry is not None else MetricsRegistry()
+    if breaker is not None:
+        breaker = getattr(breaker, "stats", breaker)
+    for component in (
+        bem, dpc, firewall, sniffer, recovery, overload, channel,
+        db, breaker, tracer,
+    ):
+        if component is not None:
+            reg.register_provider(component)
+    return DeploymentSnapshot(registry=reg)

@@ -45,6 +45,8 @@ from ..network import (
 )
 from ..network.latency import GenerationCostModel
 from ..sites import synthetic
+from ..telemetry.stats import percentile
+from ..telemetry.tracing import Tracer
 from ..sites.synthetic import SyntheticParams, touch_fragment
 from ..workload import (
     ArrivalProcess,
@@ -83,6 +85,10 @@ class TestbedConfig:
     #: Check assembled pages against the no-cache oracle every N requests
     #: (0 disables the check).
     correctness_every: int = 0
+    #: Record a virtual-time span tree for every request
+    #: (:mod:`repro.telemetry`).  Off by default: untraced runs keep the
+    #: exact single-advance float arithmetic they always had.
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -131,12 +137,12 @@ class TestbedResult:
         return sum(self.response_times) / len(self.response_times)
 
     def percentile_response_time(self, q: float) -> float:
-        """Response-time quantile ``q`` in [0, 1]."""
-        if not self.response_times:
-            return 0.0
-        ordered = sorted(self.response_times)
-        index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
-        return ordered[index]
+        """Response-time quantile ``q`` in [0, 1] (nearest-rank).
+
+        Delegates to :func:`repro.telemetry.stats.percentile` so every
+        harness reports quantiles under the same rank convention.
+        """
+        return percentile(self.response_times, q)
 
 
 class Testbed:
@@ -185,6 +191,13 @@ class Testbed:
             clock=self.clock,
         )
         self.sniffer = self.origin_link.attach_sniffer()
+
+        # Observability: one tracer shared by every clock-advancing
+        # component, so a request's span tree tiles its virtual latency.
+        self.tracer = Tracer(self.clock, enabled=config.tracing)
+        self.server.tracer = self.tracer
+        self.origin_link.tracer = self.tracer
+        self.services.db.tracer = self.tracer
 
         self._hit_rng = random.Random(config.seed + 1)
         self._oracle = self._build_oracle_server()
@@ -274,6 +287,7 @@ class Testbed:
             start = self.clock.now()
             html = self.serve_once(timed.request)
             elapsed = self.clock.now() - start
+            self.tracer.annotate_last(elapsed_s=elapsed)
 
             if measuring:
                 result.response_times.append(elapsed)
@@ -318,44 +332,65 @@ class Testbed:
         return self._oracle.render_reference_page(request)
 
     def serve_once(self, request: HttpRequest) -> str:
-        """One request through the Figure 4 pipeline; returns final HTML."""
+        """One request through the Figure 4 pipeline; returns final HTML.
+
+        With tracing enabled this opens the request's root span (unless an
+        outer harness already did) and wraps every clock advance in a leaf
+        span — firewall scans, link transfers (the channel's own spans),
+        origin generation, and proxy-side assembly — so the finished tree
+        tiles the measured virtual response time exactly.
+        """
         config = self.config
+        with self.tracer.request_span(request, mode=config.mode) as root:
+            request = self.tracer.propagate(request)
 
-        # Request: client -> external -> origin (scanned, measured).
-        self.clock.advance(self.firewall.scan_bytes(request.payload_bytes))
-        self.origin_link.send(
-            request_message(
-                request.payload_bytes, source="external", destination="origin"
-            )
-        )
-
-        # Origin generates (advances the clock internally).
-        response = self.server.handle(request)
-
-        # Response: origin -> external (measured), firewall scan.
-        self.origin_link.send(
-            response_message(
-                response.payload_bytes,
-                source="origin",
-                destination="external",
-                page=request.url,
-            )
-        )
-        self.clock.advance(self.firewall.scan_bytes(response.payload_bytes))
-
-        # Proxy-side processing.
-        if self.dpc is not None:
-            scanned_before = self.dpc.bytes_scanned
-            assembled = self.dpc.process_response(response.body)
-            scan_bytes = self.dpc.bytes_scanned - scanned_before
-            self.clock.advance(
-                scan_bytes * self.firewall.scan_cost_per_byte  # z ~= y (§5)
-                + config.cost_model.assembly_cost(
-                    assembled.fragments_set + assembled.fragments_get
+            # Request: client -> external -> origin (scanned, measured).
+            with self.tracer.span("firewall.scan", direction="request"):
+                self.clock.advance(self.firewall.scan_bytes(request.payload_bytes))
+            self.origin_link.send(
+                request_message(
+                    request.payload_bytes, source="external", destination="origin"
                 )
             )
+
+            # Origin generates (advances the clock internally).
+            response = self.server.handle(request)
+
+            # Response: origin -> external (measured), firewall scan.
+            self.origin_link.send(
+                response_message(
+                    response.payload_bytes,
+                    source="origin",
+                    destination="external",
+                    page=request.url,
+                )
+            )
+            with self.tracer.span("firewall.scan", direction="response"):
+                self.clock.advance(
+                    self.firewall.scan_bytes(response.payload_bytes)
+                )
+
+            # Proxy-side processing.
+            if self.dpc is None:
+                return response.body
+            with self.tracer.span("dpc.assemble") as assemble_span:
+                scanned_before = self.dpc.bytes_scanned
+                assembled = self.dpc.process_response(response.body)
+                scan_bytes = self.dpc.bytes_scanned - scanned_before
+                self.clock.advance(
+                    scan_bytes * self.firewall.scan_cost_per_byte  # z ~= y (§5)
+                    + config.cost_model.assembly_cost(
+                        assembled.fragments_set + assembled.fragments_get
+                    )
+                )
+                assemble_span.annotate(
+                    fragments_set=assembled.fragments_set,
+                    fragments_get=assembled.fragments_get,
+                )
+            root.annotate(
+                hit=assembled.fragments_get > 0 and assembled.fragments_set == 0
+            )
             return assembled.html
-        return response.body
 
     def _churn_fragments(self, request: HttpRequest) -> None:
         """Drive the target hit ratio via real data updates."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..errors import ChannelClosed, ConfigurationError, NetworkError
+from ..telemetry.tracing import NULL_TRACER
 from .clock import SimulatedClock
 from .message import ProtocolOverheadModel, WireMessage
 from .sniffer import Sniffer
@@ -74,6 +75,9 @@ class Channel:
         self._closed = False
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Tracer wrapping every send in a ``channel.transfer`` span.
+        #: Defaults to the shared disabled tracer so sends stay cheap.
+        self.tracer = NULL_TRACER
 
     # -- monitoring ---------------------------------------------------------
 
@@ -124,26 +128,34 @@ class Channel:
         whatever a fault hook raises when an injected fault drops the
         message.
         """
-        if self._closed:
-            raise ChannelClosed("channel %r is closed" % self.name)
-        self._validate_endpoints(message)
-        extra_delay = 0.0
-        for fault in list(self._faults):
-            try:
-                penalty = fault(message)
-            except NetworkError:
-                self.messages_dropped += 1
-                raise
-            if penalty:
-                extra_delay += penalty
-        for sniffer in self._sniffers:
-            sniffer.observe(message)
-        self.messages_sent += 1
-        wire = self.overhead.wire_bytes_for(message.payload_bytes)
-        elapsed = self.link.transfer_time(wire) + extra_delay
-        if self.clock is not None:
-            self.clock.advance(elapsed)
-        return elapsed
+        with self.tracer.span(
+            "channel.transfer", channel=self.name, kind=message.kind
+        ) as span:
+            if message.trace is None:
+                context = self.tracer.current_context()
+                if context is not None:
+                    message.trace = context
+            if self._closed:
+                raise ChannelClosed("channel %r is closed" % self.name)
+            self._validate_endpoints(message)
+            extra_delay = 0.0
+            for fault in list(self._faults):
+                try:
+                    penalty = fault(message)
+                except NetworkError:
+                    self.messages_dropped += 1
+                    span.set_status("dropped")
+                    raise
+                if penalty:
+                    extra_delay += penalty
+            for sniffer in self._sniffers:
+                sniffer.observe(message)
+            self.messages_sent += 1
+            wire = self.overhead.wire_bytes_for(message.payload_bytes)
+            elapsed = self.link.transfer_time(wire) + extra_delay
+            if self.clock is not None:
+                self.clock.advance(elapsed)
+            return elapsed
 
     def _validate_endpoints(self, message: WireMessage) -> None:
         """Messages with named endpoints must match the channel's ends."""
@@ -173,6 +185,13 @@ class Channel:
     def closed(self) -> bool:
         """Whether the channel has been closed."""
         return self._closed
+
+    def metric_rows(self) -> List[tuple]:
+        """Registry rows: delivery and drop counts under ``channel.*``."""
+        return [
+            ("channel.messages_sent", self.messages_sent),
+            ("channel.messages_dropped", self.messages_dropped),
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Channel(%r, %s<->%s, sent=%d)" % (

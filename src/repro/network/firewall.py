@@ -68,6 +68,13 @@ class Firewall:
         self.bytes_scanned = 0
         self.messages_scanned = 0
 
+    def metric_rows(self) -> list:
+        """Registry rows: scan work under ``firewall.*``."""
+        return [
+            ("firewall.bytes_scanned", self.bytes_scanned),
+            ("firewall.messages_scanned", self.messages_scanned),
+        ]
+
 
 @dataclass
 class ScanCostMeter:

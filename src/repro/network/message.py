@@ -101,6 +101,9 @@ class WireMessage:
     source: str = ""
     destination: str = ""
     meta: Dict[str, object] = field(default_factory=dict)
+    #: Trace context (:class:`repro.telemetry.TraceContext`) stamped by the
+    #: sending channel when tracing is enabled; ``None`` otherwise.
+    trace: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("request", "response"):

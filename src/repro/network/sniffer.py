@@ -94,6 +94,14 @@ class Sniffer:
         """Wire bytes of responses only."""
         return self.counters("response").wire_bytes
 
+    def metric_rows(self) -> list:
+        """Registry rows: monitored-link traffic under ``link.*``."""
+        return [
+            ("link.request_payload_bytes", self.counters("request").payload_bytes),
+            ("link.response_payload_bytes", self.counters("response").payload_bytes),
+            ("link.total_wire_bytes", self.total_wire_bytes),
+        ]
+
     def reset(self) -> None:
         """Zero all counters (e.g. after a warm-up phase)."""
         self.by_kind.clear()

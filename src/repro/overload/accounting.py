@@ -64,10 +64,13 @@ class DropLedger:
         """(reason, count) rows in registration order — zeros included."""
         return [(reason, self._counts[reason]) for reason in DROP_REASONS]
 
-    def snapshot_rows(self) -> List[Tuple[str, object]]:
-        """Rows for :func:`repro.harness.monitoring.take_snapshot`."""
+    def metric_rows(self) -> List[Tuple[str, object]]:
+        """Registry rows: one ``overload.drops.*`` counter per reason."""
         rows: List[Tuple[str, object]] = [
             ("overload.drops.%s" % reason, count) for reason, count in self.rows()
         ]
         rows.append(("overload.drops.total", self.total))
         return rows
+
+    #: Backwards-compatible alias for pre-registry snapshot callers.
+    snapshot_rows = metric_rows

@@ -34,6 +34,15 @@ class BreakerStats:
     probes: int = 0
     refused: int = 0  # allow() calls answered False while open
 
+    def metric_rows(self) -> list:
+        """Registry rows: transition counts under ``overload.breaker.*``."""
+        return [
+            ("overload.breaker.opens", self.opens),
+            ("overload.breaker.closes", self.closes),
+            ("overload.breaker.probes", self.probes),
+            ("overload.breaker.refused", self.refused),
+        ]
+
 
 class CircuitBreaker:
     """Closed → open → half-open state machine on the virtual clock."""

@@ -31,7 +31,6 @@ the fault subsystem treats stale fragment bytes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
@@ -40,6 +39,9 @@ from ..core.fragments import FragmentID
 from ..errors import ConfigurationError, DeadlineExceededError, QueueFullError
 from ..faults.degradation import DegradationStats, GracefulDegrader
 from ..harness.testbed import Testbed, TestbedConfig
+# Re-exported here for backwards compatibility: the nearest-rank helper now
+# lives with the other sample statistics in repro.telemetry.stats.
+from ..telemetry.stats import percentile
 from .accounting import DropLedger
 from .admission import AdmissionPolicy
 from .breaker import CircuitBreaker
@@ -47,20 +49,6 @@ from .queues import BoundedQueue, QueueStats
 from .stale import StaleCacheStats, StalePageCache
 
 OUTCOMES = ("fresh", "stale", "shed", "timed_out")
-
-
-def percentile(values: List[float], q: float) -> float:
-    """The ``q``-quantile (q in [0, 1]) of a sample; 0.0 when empty.
-
-    Nearest-rank (ceil(q*n)) so small-sample tails are not systematically
-    overstated: p99 of 50 values is the 50th rank only when q*n rounds up
-    past 49, and p50 of an even-length sample takes the lower middle rank.
-    """
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-    return ordered[index]
 
 
 @dataclass
@@ -294,11 +282,27 @@ class OverloadHarness:
     # -- per-request overload-aware pipeline ---------------------------------
 
     def _serve(self, timed) -> Tuple[str, Optional[str], bool]:
+        """One request through the protected pipeline, under a trace root.
+
+        With tracing enabled the whole decision — hit prediction, breaker,
+        admission, the actual serve, degradation — happens inside one
+        ``request`` span, annotated afterwards with the outcome class.
+        """
+        with self.testbed.tracer.request_span(
+            timed.request, harness="overload"
+        ) as root:
+            outcome, html, predicted_hit = self._serve_inner(timed)
+            root.annotate(outcome=outcome, predicted_hit=predicted_hit)
+            return outcome, html, predicted_hit
+
+    def _serve_inner(self, timed) -> Tuple[str, Optional[str], bool]:
         tb = self.testbed
         request = timed.request
         arrival = timed.at
         now = tb.clock.now()
-        predicted_hit = self._predicted_full_hit(request)
+        with tb.tracer.span("dpc.lookup") as lookup:
+            predicted_hit = self._predicted_full_hit(request)
+            lookup.annotate(predicted_hit=predicted_hit)
         if predicted_hit:
             request = replace(request, priority=1)
         gated = not predicted_hit and tb.dpc is not None
@@ -434,6 +438,7 @@ class OverloadHarness:
             bucket.response_times.append(elapsed)
             if measuring:
                 result.response_times.append(elapsed)
+            tb.tracer.annotate_last(elapsed_s=elapsed)
         if outcome == "fresh":
             result.completed_fresh += 1
             bucket.fresh += 1

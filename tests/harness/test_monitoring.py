@@ -63,7 +63,8 @@ class TestSnapshot:
 
     def test_names_and_missing_lookup(self):
         snapshot = DeploymentSnapshot()
-        snapshot.add("a", 1)
+        with pytest.deprecated_call():
+            snapshot.add("a", 1)
         assert snapshot.names() == ["a"]
         with pytest.raises(KeyError):
             snapshot.get("zzz")
@@ -72,6 +73,69 @@ class TestSnapshot:
         bem, dpc = active_deployment
         snapshot = take_snapshot(bem=bem)
         assert 0.0 <= snapshot.get("directory.utilization") <= 1.0
+
+
+class TestDeprecatedShim:
+    """The legacy surface still works, loudly, on top of the registry."""
+
+    def test_add_warns_and_still_records(self):
+        snapshot = DeploymentSnapshot()
+        with pytest.deprecated_call():
+            snapshot.add("legacy.metric", 7)
+        assert snapshot.get("legacy.metric") == 7
+        assert snapshot.names() == ["legacy.metric"]
+
+    def test_renamed_metric_resolves_with_a_warning(self, active_deployment):
+        bem, dpc = active_deployment
+        snapshot = take_snapshot(bem=bem)
+        canonical = snapshot.get("bem.objects.memoized")
+        with pytest.deprecated_call(match="renamed"):
+            legacy = snapshot.get("objects.memoized")
+        assert legacy == canonical
+        assert "objects.memoized" not in snapshot.names()
+
+    def test_snapshot_is_a_view_over_a_registry(self, active_deployment):
+        from repro.telemetry import MetricsRegistry
+
+        bem, dpc = active_deployment
+        registry = MetricsRegistry()
+        snapshot = take_snapshot(bem=bem, registry=registry)
+        assert snapshot.registry is registry
+        assert snapshot.rows == registry.collect()
+
+    def test_snapshot_rows_are_live(self, active_deployment):
+        bem, dpc = active_deployment
+        snapshot = take_snapshot(bem=bem)
+        before = snapshot.get("bem.fragment_hits")
+        bem.stats.fragment_hits += 5
+        assert snapshot.get("bem.fragment_hits") == before + 5
+
+
+class TestNewSections:
+    def test_database_rows_surface(self):
+        from repro.database import Database
+
+        snapshot = take_snapshot(db=Database())
+        assert snapshot.get("db.statements_executed") == 0
+        assert snapshot.get("db.tables") == 0
+
+    def test_breaker_rows_surface(self):
+        from repro.overload import CircuitBreaker
+
+        snapshot = take_snapshot(breaker=CircuitBreaker())
+        assert snapshot.get("overload.breaker.opens") == 0
+        assert snapshot.get("overload.breaker.refused") == 0
+
+    def test_tracer_rows_surface(self):
+        from repro.telemetry import Tracer
+
+        clock = SimulatedClock()
+        tracer = Tracer(clock, enabled=True)
+        with tracer.span("request"), tracer.span("bem.process"):
+            clock.advance(0.01)
+        snapshot = take_snapshot(tracer=tracer)
+        assert snapshot.get("trace.traces_completed") == 1
+        assert snapshot.get("trace.spans_opened") == 2
 
 
 class TestOverloadSection:

@@ -58,6 +58,17 @@ class TestExamples:
         assert "warming a cold proxy" in out
         assert "fail-stop as designed" in out
         assert "page correct: True" in out
+        # Section 4: full span trees for one miss and one hit, in order.
+        assert "-- cold miss --" in out
+        assert "-- warm hit --" in out
+        assert out.index("-- cold miss --") < out.index("-- warm hit --")
+        miss, hit = out.split("-- cold miss --")[1].split("-- warm hit --")
+        for tree in (miss, hit):
+            assert "request" in tree and "ms" in tree
+            assert "bem.process" in tree
+            assert "dpc.assemble" in tree
+        assert "hit=False" in miss
+        assert "hit=True" in hit
 
     def test_flash_crowd(self):
         out = run_example("flash_crowd.py")

@@ -1,0 +1,130 @@
+"""Property: traced runs produce rooted, gap-free, fully-accounted trees.
+
+The tracer's load-bearing guarantee (docs/OBSERVABILITY.md): every clock
+advance on the request path happens inside a leaf span, so each span's
+children tile it exactly and the root's duration equals the measured
+virtual response time.  These tests drive the three request pipelines —
+plain testbed, overload (shed/stale/timed-out outcomes), and chaos
+(faults, retries, recovery epochs) — with tracing on and check every
+retained trace against :func:`repro.telemetry.assert_gap_free`.
+"""
+
+import pytest
+
+from repro.faults.chaos import ChaosConfig, ChaosHarness
+from repro.faults.injectors import (
+    ChannelPartition,
+    DirectoryCorruption,
+    DpcCrash,
+    MessageLoss,
+)
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.overload import CircuitBreaker, CoDelPolicy, OverloadConfig, OverloadHarness
+from repro.telemetry import assert_gap_free
+from repro.telemetry.tracing import EPSILON
+from repro.workload import FlashCrowdProcess
+
+#: Every span name the instrumented pipelines may open.
+KNOWN_SPAN_NAMES = {
+    "request", "firewall.scan", "channel.transfer", "bem.process",
+    "script.exec", "script.compute", "db.query", "queue.wait",
+    "dpc.assemble", "dpc.lookup", "retry.backoff", "faults.recover",
+}
+
+
+def check_traces(tracer, require_elapsed=False, exact_elapsed=True):
+    """Every retained trace is rooted, gap-free, and fully accounted.
+
+    ``exact_elapsed=True`` (plain testbed) demands the root duration equal
+    the recorded virtual response time; the overload harness measures
+    latency from arrival (``timed.at``), which includes pre-serve fragment
+    churn, so there the root span only bounds ``elapsed_s`` from below.
+    """
+    assert tracer.traces, "no traces retained"
+    for root in tracer.traces:
+        assert root.name == "request"
+        assert_gap_free(root)
+        names = {span.name for span in root.walk()}
+        assert names <= KNOWN_SPAN_NAMES, names - KNOWN_SPAN_NAMES
+        if "elapsed_s" in root.meta:
+            if exact_elapsed:
+                assert abs(root.duration - root.meta["elapsed_s"]) <= EPSILON * 16
+            else:
+                assert root.duration <= root.meta["elapsed_s"] + EPSILON * 16
+        elif require_elapsed:
+            pytest.fail("root %r missing elapsed_s" % root.meta)
+
+
+class TestTestbedTraces:
+    def test_every_trace_rooted_gap_free_and_accounted(self):
+        testbed = Testbed(
+            TestbedConfig(mode="dpc", requests=120, warmup_requests=30,
+                          tracing=True)
+        )
+        testbed.run()
+        assert testbed.tracer.traces_completed == 150
+        check_traces(testbed.tracer, require_elapsed=True)
+
+    def test_untraced_run_is_bit_identical_in_virtual_time(self):
+        results = {}
+        for tracing in (False, True):
+            testbed = Testbed(
+                TestbedConfig(mode="dpc", requests=80, warmup_requests=20,
+                              tracing=tracing)
+            )
+            testbed.run()
+            results[tracing] = testbed.clock.now()
+        assert results[False] == pytest.approx(results[True], abs=1e-9)
+
+
+class TestOverloadTraces:
+    def test_flash_crowd_traces_cover_every_outcome(self):
+        config = OverloadConfig(
+            testbed=TestbedConfig(
+                mode="dpc", requests=250, warmup_requests=50, seed=11,
+                tracing=True,
+                arrivals=FlashCrowdProcess(
+                    base_rate=6.0, multiplier=10.0, burst_at=10.0,
+                    hold_s=5.0, decay_s=2.0, deterministic=True,
+                ),
+            ),
+            deadline_s=0.5,
+            policy=CoDelPolicy(target_s=0.05, interval_s=0.5),
+            breaker=CircuitBreaker(failure_threshold=5, open_s=1.0),
+        )
+        harness = OverloadHarness(config)
+        result = harness.run()
+        tracer = harness.testbed.tracer
+        assert tracer.traces_completed == 300
+        check_traces(tracer, exact_elapsed=False)
+        outcomes = {root.meta.get("outcome") for root in tracer.traces}
+        assert "fresh" in outcomes
+        # The flash crowd is sized to force at least one non-fresh outcome.
+        assert result.shed + result.timed_out + result.completed_stale > 0
+        assert outcomes - {"fresh", "stale", "shed", "timed_out"} == set()
+
+
+class TestChaosTraces:
+    def test_fault_scenarios_keep_trees_gap_free(self):
+        config = ChaosConfig(
+            testbed=TestbedConfig(
+                mode="dpc", requests=300, warmup_requests=100, seed=11,
+                tracing=True,
+            ),
+            faults=[
+                DpcCrash(at=5.0, downtime=0.2),
+                ChannelPartition(at=6.0, duration=0.5),
+                MessageLoss(at=6.5, duration=0.8, drop_probability=0.3, seed=5),
+                DirectoryCorruption(at=7.5, mode="drop_slot", count=4, seed=5),
+            ],
+            bucket_requests=50,
+        )
+        harness = ChaosHarness(config)
+        harness.run()
+        tracer = harness.testbed.tracer
+        assert tracer.traces_completed == 400
+        check_traces(tracer)
+        epochs = {root.meta.get("epoch") for root in tracer.traces}
+        assert len(epochs) >= 1  # recovery epochs are annotated on roots
+        kinds = {root.meta.get("kind") for root in tracer.traces}
+        assert kinds <= {"assembled", "bypass", None}

@@ -1,0 +1,112 @@
+"""Exporters: JSON-lines round trips, aligned tables, span trees."""
+
+import json
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.network.clock import SimulatedClock
+from repro.telemetry.export import (
+    parse_json_lines,
+    registry_from_rows,
+    render_metrics,
+    render_span_tree,
+    span_to_dict,
+    spans_to_json_lines,
+    to_json_lines,
+)
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+
+def sample_rows():
+    registry = MetricsRegistry()
+    registry.counter("bem.fragment_hits").inc(12)
+    registry.gauge("dpc.slots_occupied").set(5)
+    histogram = registry.histogram("db.wait_s", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(3.0)
+    return registry.collect()
+
+
+class TestJsonLines:
+    def test_round_trip_is_byte_identical(self):
+        rows = sample_rows()
+        text = to_json_lines(rows)
+        parsed = parse_json_lines(text)
+        assert to_json_lines(parsed) == text
+
+    def test_round_trip_preserves_values(self):
+        parsed = dict(parse_json_lines(to_json_lines(sample_rows())))
+        assert parsed["bem.fragment_hits"] == 12
+        assert parsed["db.wait_s.count"] == 2
+        assert parsed["db.wait_s.buckets"] == [[0.1, 1], [1.0, 0], ["inf", 1]]
+
+    def test_one_valid_json_object_per_line(self):
+        for line in to_json_lines(sample_rows()).splitlines():
+            record = json.loads(line)
+            assert set(record) == {"name", "value"}
+
+    def test_blank_lines_skipped(self):
+        rows = parse_json_lines('\n{"name": "a.b", "value": 1}\n\n')
+        assert rows == [("a.b", 1)]
+
+    def test_registry_from_rows_replays_verbatim(self):
+        rows = sample_rows()
+        assert registry_from_rows(rows).collect() == rows
+
+
+class TestRenderMetrics:
+    def test_matches_harness_format_table(self):
+        rows = sample_rows()
+        assert render_metrics(rows) == format_table(["metric", "value"], rows)
+
+    def test_title_prepended(self):
+        text = render_metrics([("a.b", 1)], title="Snapshot")
+        assert text.splitlines()[0] == "Snapshot"
+
+    def test_empty_rows_still_render_headers(self):
+        lines = render_metrics([]).splitlines()
+        assert lines[0].startswith("metric")
+        assert set(lines[1]) <= {"-", " "}
+
+
+def build_trace():
+    clock = SimulatedClock()
+    tracer = Tracer(clock, enabled=True)
+    with tracer.span("request", url="/page.jsp") as root:
+        with tracer.span("bem.process"):
+            clock.advance(0.010)
+        with tracer.span("dpc.assemble") as assemble:
+            assemble.set_status("failed")
+            clock.advance(0.002)
+    return root
+
+
+class TestSpanExport:
+    def test_span_to_dict_shape(self):
+        record = span_to_dict(build_trace())
+        assert record["name"] == "request"
+        assert record["duration"] == pytest.approx(0.012)
+        assert record["meta"] == {"url": "/page.jsp"}
+        children = record["children"]
+        assert [c["name"] for c in children] == ["bem.process", "dpc.assemble"]
+        assert children[1]["status"] == "failed"
+        assert "meta" not in children[0]
+
+    def test_spans_to_json_lines_one_trace_per_line(self):
+        roots = [build_trace(), build_trace()]
+        lines = spans_to_json_lines(roots).splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "request"
+
+    def test_render_span_tree(self):
+        text = render_span_tree(build_trace())
+        lines = text.splitlines()
+        assert lines[0] == "request  12.000ms  url=/page.jsp"
+        assert lines[1] == "  bem.process  10.000ms"
+        assert lines[2] == "  dpc.assemble  2.000ms  status=failed"
+
+    def test_render_span_tree_custom_indent(self):
+        text = render_span_tree(build_trace(), indent="....")
+        assert text.splitlines()[1].startswith("....bem.process")

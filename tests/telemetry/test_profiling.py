@@ -1,0 +1,88 @@
+"""@profiled: opt-in wall-clock measurement into a registry."""
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import (
+    disable_profiling,
+    enable_profiling,
+    profiled,
+    profiling_enabled,
+    sanitize_label,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_profiling_state():
+    disable_profiling()
+    yield
+    disable_profiling()
+
+
+class TestSanitizeLabel:
+    def test_qualname_folding(self):
+        assert sanitize_label("Testbed.run") == "testbed.run"
+        assert sanitize_label("main.<locals>.helper") == "main._locals_.helper"
+
+    def test_strip_and_fallback(self):
+        assert sanitize_label("..weird..") == "weird"
+        assert sanitize_label("???") == "anonymous"
+
+
+class TestProfiled:
+    def test_disabled_is_pass_through(self):
+        @profiled
+        def double(x):
+            return 2 * x
+
+        assert not profiling_enabled()
+        assert double(4) == 8
+
+    def test_enabled_records_calls_and_wall_time(self):
+        registry = MetricsRegistry()
+
+        @profiled(label="bench.double")
+        def double(x):
+            return 2 * x
+
+        enable_profiling(registry)
+        assert profiling_enabled()
+        for i in range(3):
+            assert double(i) == 2 * i
+        rows = dict(registry.collect())
+        assert rows["profile.bench.double.calls"] == 3
+        assert rows["profile.bench.double.wall_s.count"] == 3
+        assert rows["profile.bench.double.wall_s.sum"] >= 0.0
+
+    def test_bare_decorator_uses_qualname(self):
+        @profiled
+        def helper():
+            return 1
+
+        assert helper.__profiled_label__.endswith("helper")
+        assert helper.__name__ == "helper"
+
+    def test_records_even_when_the_function_raises(self):
+        registry = MetricsRegistry()
+
+        @profiled(label="bench.boom")
+        def boom():
+            raise ValueError("no")
+
+        enable_profiling(registry)
+        with pytest.raises(ValueError):
+            boom()
+        assert dict(registry.collect())["profile.bench.boom.calls"] == 1
+
+    def test_disable_stops_recording(self):
+        registry = MetricsRegistry()
+
+        @profiled(label="bench.quiet")
+        def quiet():
+            return 0
+
+        enable_profiling(registry)
+        quiet()
+        disable_profiling()
+        quiet()
+        assert dict(registry.collect())["profile.bench.quiet.calls"] == 1

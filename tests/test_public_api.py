@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.network",
     "repro.overload",
     "repro.sites",
+    "repro.telemetry",
     "repro.workload",
 ]
 
