@@ -7,6 +7,7 @@
     python -m repro fig3b --requests 800       # testbed-backed
     python -m repro case-study edge
     python -m repro all                        # everything
+    python -m repro bench --list               # perf benchmarks (repro.bench)
 
 Each command prints the same rows the corresponding figure/table reports
 (and that EXPERIMENTS.md records).
@@ -210,8 +211,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns a process exit code.
+
+    ``python -m repro bench ...`` is routed to the benchmark runner
+    (:mod:`repro.bench`), which owns its own argument parser; everything
+    else is an artifact name handled here.
+    """
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     requested: List[str] = []
     for name in args.artifacts:
         if name == "all":

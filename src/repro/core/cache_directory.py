@@ -35,23 +35,55 @@ from .fragments import FragmentID, FragmentMetadata
 from .replacement import LruPolicy, ReplacementPolicy
 
 
-@dataclass
 class DirectoryEntry:
-    """One cache-directory row."""
+    """One cache-directory row.
 
-    fragment_id: FragmentID
-    dpc_key: int
-    is_valid: bool = True
-    ttl: Optional[float] = None
-    created_at: float = 0.0
-    last_access: float = 0.0
-    hits: int = 0
-    size_bytes: int = 0
-    dependencies: tuple = ()
-    #: DPC generation this entry's SET was issued against.  Entries whose
-    #: epoch predates the proxy's current epoch reference slots that were
-    #: wiped by a restart; the resync protocol invalidates them wholesale.
-    epoch: int = 0
+    ``__slots__``-based: a warm directory holds thousands of rows that are
+    probed on every request, and slot storage keeps each row's memory and
+    attribute reads dict-free.  Rows stay mutable — lookup updates
+    ``last_access``/``hits``, invalidation flips ``is_valid`` — exactly as
+    before.
+    """
+
+    __slots__ = (
+        "fragment_id",
+        "dpc_key",
+        "is_valid",
+        "ttl",
+        "created_at",
+        "last_access",
+        "hits",
+        "size_bytes",
+        "dependencies",
+        "epoch",
+    )
+
+    def __init__(
+        self,
+        fragment_id: FragmentID,
+        dpc_key: int,
+        is_valid: bool = True,
+        ttl: Optional[float] = None,
+        created_at: float = 0.0,
+        last_access: float = 0.0,
+        hits: int = 0,
+        size_bytes: int = 0,
+        dependencies: tuple = (),
+        epoch: int = 0,
+    ) -> None:
+        self.fragment_id = fragment_id
+        self.dpc_key = dpc_key
+        self.is_valid = is_valid
+        self.ttl = ttl
+        self.created_at = created_at
+        self.last_access = last_access
+        self.hits = hits
+        self.size_bytes = size_bytes
+        self.dependencies = dependencies
+        #: DPC generation this entry's SET was issued against.  Entries whose
+        #: epoch predates the proxy's current epoch reference slots that were
+        #: wiped by a restart; the resync protocol invalidates them wholesale.
+        self.epoch = epoch
 
     def fresh(self, now: float) -> bool:
         """Valid and within TTL."""
@@ -60,6 +92,13 @@ class DirectoryEntry:
         if self.ttl is None:
             return True
         return now < self.created_at + self.ttl
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DirectoryEntry(%r, dpc_key=%d, is_valid=%r)" % (
+            self.fragment_id,
+            self.dpc_key,
+            self.is_valid,
+        )
 
 
 class FreeList:

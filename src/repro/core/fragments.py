@@ -49,12 +49,20 @@ class FragmentID:
         ``name?k1=v1&k2=v2`` — this is also (deliberately) the quantity
         whose byte length motivates the integer dpcKey: fragmentIDs "are
         typically quite long, especially those that include a list of
-        parameters" (§4.3.3).
+        parameters" (§4.3.3).  The rendering is memoized on the (frozen)
+        instance: identity is immutable, and the canonical form is
+        recomputed on every directory probe otherwise.
         """
+        cached = self.__dict__.get("_canonical")
+        if cached is not None:
+            return cached
         if not self.params:
-            return self.name
-        query = "&".join("%s=%s" % (k, v) for k, v in self.params)
-        return "%s?%s" % (self.name, query)
+            canonical = self.name
+        else:
+            query = "&".join("%s=%s" % (k, v) for k, v in self.params)
+            canonical = "%s?%s" % (self.name, query)
+        object.__setattr__(self, "_canonical", canonical)
+        return canonical
 
     def __str__(self) -> str:
         return self.canonical()

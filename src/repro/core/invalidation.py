@@ -17,7 +17,7 @@ page-level invalidation).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..database.triggers import ChangeEvent, TriggerBus
 from .cache_directory import CacheDirectory
@@ -31,6 +31,15 @@ class InvalidationManager:
         self.directory = directory
         #: table -> canonical fragmentID -> (FragmentID, dependencies on that table)
         self._watchers: Dict[str, Dict[str, Tuple[FragmentID, Tuple[Dependency, ...]]]] = {}
+        #: table -> row key -> canonicals of watchers keyed to that row.  A
+        #: change event can only match a ``key=k`` dependency when the event
+        #: key equals ``k``, so row-keyed watchers are indexed and visited
+        #: only on their own row's events instead of on every table event.
+        self._keyed: Dict[str, Dict[object, Set[str]]] = {}
+        #: table -> canonicals of watchers with at least one dependency that
+        #: is not row-keyed (table-wide, column- or where-filtered); these
+        #: must still be checked against every event on the table.
+        self._unkeyed: Dict[str, Set[str]] = {}
         self._buses: List[TriggerBus] = []
         self.events_seen = 0
         self.fragments_invalidated = 0
@@ -64,12 +73,36 @@ class InvalidationManager:
                 table_watchers[canonical] = (fragment_id, (dependency,))
             else:
                 table_watchers[canonical] = (fragment_id, existing[1] + (dependency,))
+            if dependency.key is None:
+                self._unkeyed.setdefault(dependency.table, set()).add(canonical)
+            else:
+                by_key = self._keyed.setdefault(dependency.table, {})
+                by_key.setdefault(dependency.key, set()).add(canonical)
 
     def unwatch(self, fragment_id: FragmentID) -> None:
         """Stop watching one fragment's dependencies."""
         canonical = fragment_id.canonical()
-        for table_watchers in self._watchers.values():
-            table_watchers.pop(canonical, None)
+        for table, table_watchers in self._watchers.items():
+            removed = table_watchers.pop(canonical, None)
+            if removed is not None:
+                self._deindex(table, canonical, removed[1])
+
+    def _deindex(
+        self, table: str, canonical: str, dependencies: Tuple[Dependency, ...]
+    ) -> None:
+        """Drop one watcher's canonical from the per-table event indexes."""
+        unkeyed = self._unkeyed.get(table)
+        if unkeyed is not None:
+            unkeyed.discard(canonical)
+        by_key = self._keyed.get(table)
+        if by_key is not None:
+            for dependency in dependencies:
+                if dependency.key is not None:
+                    bucket = by_key.get(dependency.key)
+                    if bucket is not None:
+                        bucket.discard(canonical)
+                        if not bucket:
+                            del by_key[dependency.key]
 
     def watched_count(self) -> int:
         """Distinct fragments currently being watched."""
@@ -81,16 +114,31 @@ class InvalidationManager:
     # -- event handling ------------------------------------------------------------
 
     def on_change(self, event: ChangeEvent) -> None:
-        """Trigger-bus callback: invalidate fragments hit by this change."""
+        """Trigger-bus callback: invalidate fragments hit by this change.
+
+        Only *candidate* watchers are examined: those with a dependency
+        keyed to the changed row (via the per-key index) plus those with
+        any non-row-keyed dependency.  A watcher outside that set cannot
+        match the event — ``Dependency.matches`` requires equal keys —
+        so skipping it changes nothing observable except scan cost.
+        """
         self.events_seen += 1
         table_watchers = self._watchers.get(event.table)
         if not table_watchers:
             return
-        doomed: List[FragmentID] = []
-        for canonical, (fragment_id, dependencies) in table_watchers.items():
+        candidates = set(self._unkeyed.get(event.table, ()))
+        by_key = self._keyed.get(event.table)
+        if by_key is not None:
+            candidates.update(by_key.get(event.key, ()))
+        doomed: List[Tuple[str, FragmentID, Tuple[Dependency, ...]]] = []
+        for canonical in candidates:
+            watcher = table_watchers.get(canonical)
+            if watcher is None:  # pragma: no cover - index/table desync guard
+                continue
+            fragment_id, dependencies = watcher
             entry = self.directory.peek(fragment_id)
             if entry is None or not entry.is_valid:
-                doomed.append(fragment_id)  # stale watcher; clean it up
+                doomed.append((canonical, fragment_id, dependencies))
                 continue
             if any(
                 dep.matches(
@@ -104,6 +152,7 @@ class InvalidationManager:
             ):
                 if self.directory.invalidate(fragment_id):
                     self.fragments_invalidated += 1
-                doomed.append(fragment_id)
-        for fragment_id in doomed:
-            table_watchers.pop(fragment_id.canonical(), None)
+                doomed.append((canonical, fragment_id, dependencies))
+        for canonical, fragment_id, dependencies in doomed:
+            table_watchers.pop(canonical, None)
+            self._deindex(event.table, canonical, dependencies)

@@ -1,9 +1,20 @@
-"""Knuth-Morris-Pratt string matching for the DPC's template scanner.
+"""Sentinel scanning for the DPC's template scanner.
 
 The paper justifies its scan-cost assumption by noting that "string matching
 algorithms (e.g., KMP [18]) are linear-time algorithms" (§5).  The DPC must
 scan every response byte exactly once looking for instruction tags; this
-module provides that linear-time scan.
+module provides that linear-time scan in two interchangeable lanes:
+
+* the **fast lane** walks the text with ``str.find``, which runs the same
+  linear scan inside the interpreter's C string machinery.  This is what
+  the serve path uses (see :mod:`repro.core.fastpath`).
+* the **reference lane** is the classic per-character KMP loop, kept as the
+  executable oracle the fast lane is differentially tested against.
+
+Both lanes report identical match positions and identical scanned-byte
+counts — the per-byte ``z`` cost of the Section 5 analysis is charged on
+``len(text)`` either way, so Result 1's accounting does not depend on which
+lane ran.
 
 :func:`kmp_find_all` is the general algorithm; :class:`TagScanner` applies
 it to the template tag sentinel and reports scanned-byte counts so that the
@@ -12,16 +23,20 @@ scan-cost analysis (Result 1) can be measured rather than assumed.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from functools import lru_cache
+from typing import Iterator, List, Tuple
 
 from ..errors import ConfigurationError
+from . import fastpath
 
 
-def failure_function(pattern: str) -> List[int]:
-    """KMP failure (longest-proper-prefix-suffix) table for ``pattern``.
+@lru_cache(maxsize=256)
+def _failure_table(pattern: str) -> Tuple[int, ...]:
+    """Build (once per pattern) the KMP failure table, as a tuple.
 
-    ``table[i]`` is the length of the longest proper prefix of
-    ``pattern[:i+1]`` that is also a suffix of it.
+    Shared by every KMP entry point so repeated scans with the same pattern
+    never rebuild the table — previously ``kmp_iter`` reconstructed it on
+    every call.
     """
     if not pattern:
         raise ConfigurationError("pattern cannot be empty")
@@ -33,12 +48,27 @@ def failure_function(pattern: str) -> List[int]:
         if pattern[i] == pattern[length]:
             length += 1
         table[i] = length
-    return table
+    return tuple(table)
+
+
+def failure_function(pattern: str) -> List[int]:
+    """KMP failure (longest-proper-prefix-suffix) table for ``pattern``.
+
+    ``table[i]`` is the length of the longest proper prefix of
+    ``pattern[:i+1]`` that is also a suffix of it.  The table is computed
+    once per pattern and memoized (:func:`functools.lru_cache`); callers
+    get a fresh list they are free to mutate.
+    """
+    return list(_failure_table(pattern))
 
 
 def kmp_iter(text: str, pattern: str) -> Iterator[int]:
-    """Yield the start index of every (possibly overlapping) match."""
-    table = failure_function(pattern)
+    """Yield the start index of every (possibly overlapping) match.
+
+    Uses the memoized failure table — building it per call was measurable
+    overhead for callers that scan many small texts with one pattern.
+    """
+    table = _failure_table(pattern)
     matched = 0
     for i, char in enumerate(text):
         while matched > 0 and char != pattern[matched]:
@@ -66,12 +96,34 @@ def kmp_find(text: str, pattern: str, start: int = 0) -> int:
     return -1
 
 
+def find_positions(text: str, pattern: str) -> List[int]:
+    """All (possibly overlapping) match positions, via ``str.find``.
+
+    The fast lane's scan: the same linear pass as KMP, executed by the
+    interpreter's C substring search instead of a per-character Python
+    loop.  Overlapping matches are included (the search resumes one
+    character past each match start), so the output is position-for-position
+    identical to :func:`kmp_find_all`.
+    """
+    if not pattern:
+        raise ConfigurationError("pattern cannot be empty")
+    matches: List[int] = []
+    find = text.find
+    position = find(pattern)
+    while position != -1:
+        matches.append(position)
+        position = find(pattern, position + 1)
+    return matches
+
+
 class TagScanner:
     """Finds instruction-tag sentinels in serialized templates.
 
     One scanner instance accumulates ``bytes_scanned`` across calls so a
     DPC can report total scanning work (the ``z`` per-byte cost in the
-    Section 5 comparison).
+    Section 5 comparison).  With the fast lanes active (the default) the
+    scan runs on ``str.find``; on the reference lanes it runs the KMP loop.
+    Either way every byte of the text is charged to ``bytes_scanned``.
     """
 
     def __init__(self, sentinel: str) -> None:
@@ -84,6 +136,20 @@ class TagScanner:
     def positions(self, text: str) -> List[int]:
         """Scan ``text`` once, returning all sentinel start positions."""
         self.bytes_scanned += len(text)
+        if fastpath.enabled():
+            return find_positions(text, self.sentinel)
+        return self._kmp_positions(text)
+
+    def kmp_positions(self, text: str) -> List[int]:
+        """Reference scan: the per-character KMP loop, charging the counter.
+
+        Kept as the executable oracle for the differential property tests;
+        :meth:`positions` routes here when the reference lanes are active.
+        """
+        self.bytes_scanned += len(text)
+        return self._kmp_positions(text)
+
+    def _kmp_positions(self, text: str) -> List[int]:
         matches: List[int] = []
         matched = 0
         pattern = self.sentinel
@@ -97,6 +163,19 @@ class TagScanner:
                 matches.append(i - len(pattern) + 1)
                 matched = table[matched - 1]
         return matches
+
+    def charge(self, nbytes: int) -> None:
+        """Account ``nbytes`` of scan work without re-walking the text.
+
+        Used by the template parse cache: a cache hit skips the physical
+        re-scan of a wire string the DPC has already parsed, but the
+        scan-cost model (Result 1) still charges ``z`` per response byte —
+        the bytes did cross the proxy and were matched against the cache.
+        Counter semantics are therefore identical in both lanes.
+        """
+        if nbytes < 0:
+            raise ConfigurationError("cannot charge a negative byte count")
+        self.bytes_scanned += nbytes
 
     def reset_counters(self) -> None:
         """Zero the scanned-byte counter."""

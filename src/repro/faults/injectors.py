@@ -16,6 +16,7 @@ answers "is the proxy reachable right now?" for the harness.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
 from typing import List, Optional
@@ -85,25 +86,58 @@ class FaultInjector:
         )
 
 
+#: Transition kinds in a :class:`FaultSchedule`'s heap.
+_START, _STOP = 0, 1
+
+
 class FaultSchedule:
-    """Drives a set of injectors off the simulated clock."""
+    """Drives a set of injectors off the simulated clock.
+
+    Pending start/stop transitions live in a min-heap keyed on fire time,
+    so each :meth:`tick` pops only the transitions that are actually due
+    instead of re-scanning every injector — ``tick`` is O(1) on quiet
+    ticks regardless of schedule size.  An injector's stop is enqueued
+    when its start fires, which keeps the zero-duration one-shot ordering
+    (start then stop on the same tick) of the original linear scan.
+    """
 
     def __init__(self, injectors: Optional[List[FaultInjector]] = None) -> None:
         self.injectors = sorted(injectors or [], key=lambda inj: inj.at)
+        self._pending: List[tuple] = []
+        self._arm()
+
+    def _arm(self) -> None:
+        """(Re)build the transition heap from the injector list."""
+        self._pending = [
+            (injector.at, sequence, _START, injector)
+            for sequence, injector in enumerate(self.injectors)
+        ]
+        heapq.heapify(self._pending)
+        self._sequence = len(self.injectors)
 
     def tick(self, ctx: FaultContext, now: float) -> None:
         """Fire every due start/stop transition at virtual time ``now``."""
-        for injector in self.injectors:
-            if not injector.started and now >= injector.at:
-                injector.started = True
-                injector.start(ctx)
-            if (
-                injector.started
-                and not injector.stopped
-                and now >= injector.at + injector.duration
-            ):
-                injector.stopped = True
-                injector.stop(ctx)
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            _, _, kind, injector = heapq.heappop(pending)
+            if kind == _START:
+                if not injector.started:
+                    injector.started = True
+                    injector.start(ctx)
+                    heapq.heappush(
+                        pending,
+                        (
+                            injector.at + injector.duration,
+                            self._sequence,
+                            _STOP,
+                            injector,
+                        ),
+                    )
+                    self._sequence += 1
+            else:
+                if injector.started and not injector.stopped:
+                    injector.stopped = True
+                    injector.stop(ctx)
 
     def proxy_down(self, now: float) -> bool:
         """Whether any injector currently makes the DPC unreachable."""
@@ -114,6 +148,7 @@ class FaultSchedule:
         for injector in self.injectors:
             injector.started = False
             injector.stopped = False
+        self._arm()
 
 
 class DpcCrash(FaultInjector):

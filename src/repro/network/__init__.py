@@ -6,7 +6,7 @@ DESIGN.md §2 for the substitution rationale.
 """
 
 from .channel import Channel, LinkParameters
-from .clock import SimulatedClock
+from .clock import EventQueue, SimulatedClock
 from .firewall import (
     DEFAULT_SCAN_COST_PER_BYTE,
     Firewall,
@@ -30,6 +30,7 @@ __all__ = [
     "Channel",
     "LinkParameters",
     "SimulatedClock",
+    "EventQueue",
     "Firewall",
     "ScanCostMeter",
     "DEFAULT_SCAN_COST_PER_BYTE",

@@ -67,6 +67,8 @@ class Channel:
         self.name = name
         self.endpoint_a = endpoint_a
         self.endpoint_b = endpoint_b
+        #: Precomputed endpoint set: membership is checked on every send.
+        self._ends = frozenset((endpoint_a, endpoint_b))
         self.link = link if link is not None else LinkParameters()
         self.overhead = overhead if overhead is not None else ProtocolOverheadModel()
         self.clock = clock
@@ -151,7 +153,7 @@ class Channel:
             for sniffer in self._sniffers:
                 sniffer.observe(message)
             self.messages_sent += 1
-            wire = self.overhead.wire_bytes_for(message.payload_bytes)
+            wire = message.wire_bytes(self.overhead)
             elapsed = self.link.transfer_time(wire) + extra_delay
             if self.clock is not None:
                 self.clock.advance(elapsed)
@@ -159,7 +161,7 @@ class Channel:
 
     def _validate_endpoints(self, message: WireMessage) -> None:
         """Messages with named endpoints must match the channel's ends."""
-        ends = {self.endpoint_a, self.endpoint_b}
+        ends = self._ends
         if message.source and message.destination:
             if message.source not in ends or message.destination not in ends:
                 raise ConfigurationError(

@@ -12,12 +12,18 @@ it is transmitted over a :class:`~repro.network.channel.Channel` it is split
 into packets of at most ``mss`` payload bytes, each charged ``header_bytes``
 of TCP/IP header (20 B TCP + 20 B IP by default).  Empty messages (e.g. pure
 ACKs are not modeled) still cost one packet.
+
+Packetization is *analytic*: packet counts and wire bytes are integer
+arithmetic on the payload size — no per-packet objects are ever built.
+:meth:`ProtocolOverheadModel.packets_for` is the single source of truth;
+:meth:`WireMessage.packets`, :meth:`WireMessage.wire_bytes`, the Channel's
+transfer-time charge, and the Sniffer's counters all delegate to it, so the
+empty-message one-packet edge case is encoded exactly once.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ConfigurationError
@@ -64,7 +70,9 @@ class ProtocolOverheadModel:
         """Number of packets needed to carry ``payload_bytes``.
 
         A zero-byte payload still needs one packet: even an empty HTTP
-        response occupies at least one TCP segment on the wire.
+        response occupies at least one TCP segment on the wire.  Computed
+        as exact integer ceiling division — payloads are never enumerated
+        packet by packet.
         """
         if payload_bytes < 0:
             raise ConfigurationError("payload_bytes cannot be negative")
@@ -72,7 +80,7 @@ class ProtocolOverheadModel:
             return 0
         if payload_bytes == 0:
             return 1
-        return math.ceil(payload_bytes / self.mss)
+        return -(-payload_bytes // self.mss)
 
     def wire_bytes_for(self, payload_bytes: int) -> int:
         """Total wire bytes for one message: payload + per-packet headers
@@ -86,7 +94,6 @@ class ProtocolOverheadModel:
         )
 
 
-@dataclass
 class WireMessage:
     """An application-level message with a measurable payload size.
 
@@ -94,29 +101,72 @@ class WireMessage:
     separately); ``meta`` carries free-form annotations used by experiments
     (e.g. which page the response belongs to, whether it was a template or a
     full page).
+
+    The class is ``__slots__``-based: one instance is built per send on the
+    hot serve path, and slot storage keeps that allocation dict-free.
     """
 
-    kind: str  # "request" or "response"
-    payload_bytes: int
-    source: str = ""
-    destination: str = ""
-    meta: Dict[str, object] = field(default_factory=dict)
-    #: Trace context (:class:`repro.telemetry.TraceContext`) stamped by the
-    #: sending channel when tracing is enabled; ``None`` otherwise.
-    trace: Optional[object] = None
+    __slots__ = ("kind", "payload_bytes", "source", "destination", "meta", "trace")
 
-    def __post_init__(self) -> None:
-        if self.kind not in ("request", "response"):
+    def __init__(
+        self,
+        kind: str,
+        payload_bytes: int,
+        source: str = "",
+        destination: str = "",
+        meta: Optional[Dict[str, object]] = None,
+        trace: Optional[object] = None,
+    ) -> None:
+        if kind not in ("request", "response"):
             raise ConfigurationError(
-                "message kind must be 'request' or 'response', got %r" % self.kind
+                "message kind must be 'request' or 'response', got %r" % kind
             )
-        if self.payload_bytes < 0:
+        if payload_bytes < 0:
             raise ConfigurationError("payload_bytes cannot be negative")
+        self.kind = kind
+        self.payload_bytes = payload_bytes
+        self.source = source
+        self.destination = destination
+        #: Free-form experiment annotations; always a fresh dict per message.
+        self.meta: Dict[str, object] = {} if meta is None else meta
+        #: Trace context (:class:`repro.telemetry.TraceContext`) stamped by
+        #: the sending channel when tracing is enabled; ``None`` otherwise.
+        self.trace = trace
+
+    def packets(self, overhead: Optional[ProtocolOverheadModel] = None) -> int:
+        """Packets this message occupies on a link under an overhead model.
+
+        Delegates to :meth:`ProtocolOverheadModel.packets_for` — the single
+        place the packetization arithmetic (including the zero-payload
+        one-packet edge) lives.
+        """
+        model = overhead if overhead is not None else ProtocolOverheadModel()
+        return model.packets_for(self.payload_bytes)
 
     def wire_bytes(self, overhead: Optional[ProtocolOverheadModel] = None) -> int:
         """Bytes this message occupies on a link under an overhead model."""
         model = overhead if overhead is not None else ProtocolOverheadModel()
         return model.wire_bytes_for(self.payload_bytes)
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not WireMessage:
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.payload_bytes == other.payload_bytes
+            and self.source == other.source
+            and self.destination == other.destination
+            and self.meta == other.meta
+            and self.trace == other.trace
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "WireMessage(kind=%r, payload_bytes=%d, source=%r, destination=%r)" % (
+            self.kind,
+            self.payload_bytes,
+            self.source,
+            self.destination,
+        )
 
 
 def request_message(
@@ -131,7 +181,7 @@ def request_message(
         payload_bytes=payload_bytes,
         source=source,
         destination=destination,
-        meta=dict(meta),
+        meta=meta,
     )
 
 
@@ -147,5 +197,5 @@ def response_message(
         payload_bytes=payload_bytes,
         source=source,
         destination=destination,
-        meta=dict(meta),
+        meta=meta,
     )

@@ -28,11 +28,16 @@ class TrafficCounters:
     packets: int = 0
 
     def record(self, message: WireMessage, overhead: ProtocolOverheadModel) -> None:
-        """Account one message under this direction's counters."""
+        """Account one message under this direction's counters.
+
+        Wire bytes and packets come from the message's own accessors, which
+        delegate to the overhead model — the same arithmetic the channel
+        charges, so Sniffer totals can never drift from link totals.
+        """
         self.messages += 1
         self.payload_bytes += message.payload_bytes
-        self.wire_bytes += overhead.wire_bytes_for(message.payload_bytes)
-        self.packets += overhead.packets_for(message.payload_bytes)
+        self.wire_bytes += message.wire_bytes(overhead)
+        self.packets += message.packets(overhead)
 
     def merged_with(self, other: "TrafficCounters") -> "TrafficCounters":
         """A new counter equal to the element-wise sum."""

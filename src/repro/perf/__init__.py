@@ -1,0 +1,13 @@
+"""Performance measurement harnesses for the wire-path fast lanes.
+
+The modules here are *library* benchmarks: importable functions that run a
+workload under both the fast lanes and the reference lanes
+(:mod:`repro.core.fastpath`), verify the two are byte-identical, and return
+JSON-serializable result dicts.  The scripts in ``benchmarks/`` and the
+``python -m repro bench`` CLI are thin wrappers around them.
+"""
+
+from .hotpath import SMOKE_SETTINGS, run_hotpath
+from .scan import run_scan
+
+__all__ = ["run_hotpath", "run_scan", "SMOKE_SETTINGS"]

@@ -122,3 +122,63 @@ class TestHousekeeping:
         cache(directory, manager, fid("page"), deps)
         reviews.insert({"rid": "r1"})
         assert directory.lookup(fid("page"), 0.0) is None
+
+
+class TestKeyedIndex:
+    """The per-row watcher index must be invisible except in scan cost."""
+
+    def test_row_keyed_watcher_hit_via_index(self, setup):
+        db, table, directory, manager = setup
+        for pid in ("a", "b", "c"):
+            table.insert({"pid": pid, "category": "books", "price": 1.0})
+            cache(directory, manager, fid("detail", pid=pid),
+                  (Dependency("products", key=pid),))
+        table.update({"price": 9.0}, key="b")
+        assert directory.lookup(fid("detail", pid="a"), 0.0) is not None
+        assert directory.lookup(fid("detail", pid="b"), 0.0) is None
+        assert directory.lookup(fid("detail", pid="c"), 0.0) is not None
+        assert manager.fragments_invalidated == 1
+
+    def test_watcher_keyed_to_two_rows_matches_either(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        table.insert({"pid": "b", "category": "books", "price": 1.0})
+        deps = (Dependency("products", key="a"),
+                Dependency("products", key="b"))
+        cache(directory, manager, fid("pair"), deps)
+        table.update({"price": 2.0}, key="b")
+        assert directory.lookup(fid("pair"), 0.0) is None
+        assert manager.watched_count() == 0
+
+    def test_mixed_keyed_and_unkeyed_dependencies(self, setup):
+        db, table, directory, manager = setup
+        reviews = db.create_table(schema("reviews", [("rid", "str")]))
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        deps = (Dependency("products", key="a"), Dependency("reviews"))
+        cache(directory, manager, fid("page"), deps)
+        # An event on an unrelated products row must not invalidate.
+        table.insert({"pid": "z", "category": "toys", "price": 1.0})
+        assert directory.lookup(fid("page"), 0.0) is not None
+        # But the keyed row does.
+        table.update({"price": 2.0}, key="a")
+        assert directory.lookup(fid("page"), 0.0) is None
+
+    def test_unwatch_clears_index(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        cache(directory, manager, fid("detail", pid="a"),
+              (Dependency("products", key="a"),))
+        manager.unwatch(fid("detail", pid="a"))
+        table.update({"price": 2.0}, key="a")
+        assert manager.fragments_invalidated == 0
+        assert directory.lookup(fid("detail", pid="a"), 0.0) is not None
+
+    def test_rewatch_after_invalidation(self, setup):
+        db, table, directory, manager = setup
+        table.insert({"pid": "a", "category": "books", "price": 1.0})
+        for price in (2.0, 3.0):
+            cache(directory, manager, fid("detail", pid="a"),
+                  (Dependency("products", key="a"),))
+            table.update({"price": price}, key="a")
+            assert directory.lookup(fid("detail", pid="a"), 0.0) is None
+        assert manager.fragments_invalidated == 2

@@ -100,6 +100,18 @@ class TestFaultSchedule:
         assert crash.started and crash.stopped
         schedule.reset()
         assert not crash.started and not crash.stopped
+        # The re-armed transition heap fires the full cycle again.
+        schedule.tick(ctx, 2.0)
+        assert crash.started and crash.stopped
+
+    def test_quiet_tick_pops_nothing(self):
+        _, ctx = books_context()
+        schedule = FaultSchedule([DpcCrash(at=5.0, downtime=1.0)])
+        schedule.tick(ctx, 1.0)
+        assert len(schedule._pending) == 1  # start still queued
+        schedule.tick(ctx, 5.0)
+        schedule.tick(ctx, 7.0)
+        assert len(schedule._pending) == 0  # both transitions drained
 
     def test_proxy_down_reflects_crash_window(self):
         schedule = FaultSchedule([DpcCrash(at=1.0, downtime=0.5)])

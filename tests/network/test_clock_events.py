@@ -1,0 +1,112 @@
+"""Tests for the heap-backed event queue on the simulated clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.clock import EventQueue, SimulatedClock
+
+
+class TestEventQueue:
+    def test_pops_in_timestamp_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while True:
+            due = queue.pop_due(10.0)
+            if due is None:
+                break
+            due[1]()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("first"))
+        queue.push(1.0, lambda: fired.append("second"))
+        queue.pop_due(1.0)[1]()
+        queue.pop_due(1.0)[1]()
+        assert fired == ["first", "second"]
+
+    def test_not_due_stays_queued(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        assert queue.pop_due(4.999) is None
+        assert len(queue) == 1
+        assert queue.peek_time() == 5.0
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        assert queue.pop_due(100.0) is None
+        assert not queue
+
+
+class TestClockScheduling:
+    def test_advance_fires_due_callbacks(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append(clock.now()))
+        clock.advance(0.5)
+        assert fired == []
+        clock.advance(0.5)
+        assert fired == [1.0]
+
+    def test_advance_to_fires_due_callbacks(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule_at(2.0, lambda: fired.append("x"))
+        clock.advance_to(3.0)
+        assert fired == ["x"]
+
+    def test_callbacks_fire_in_timestamp_order(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(2.0, lambda: fired.append("late"))
+        clock.schedule(1.0, lambda: fired.append("early"))
+        clock.advance(5.0)
+        assert fired == ["early", "late"]
+
+    def test_callback_may_schedule_more_work(self):
+        clock = SimulatedClock()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            clock.schedule_at(2.0, lambda: fired.append("second"))
+
+        clock.schedule(1.0, chain)
+        clock.advance(5.0)  # both the callback and its follow-up are due
+        assert fired == ["first", "second"]
+
+    def test_past_timestamp_fires_on_next_advance(self):
+        clock = SimulatedClock(start=5.0)
+        fired = []
+        clock.schedule_at(1.0, lambda: fired.append("overdue"))
+        assert fired == []
+        clock.advance(0.0)
+        assert fired == ["overdue"]
+
+    def test_negative_delay_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ConfigurationError):
+            clock.schedule(-1.0, lambda: None)
+        with pytest.raises(ConfigurationError):
+            clock.schedule_at(-1.0, lambda: None)
+
+    def test_reset_drops_pending_events(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append("x"))
+        assert clock.pending_events() == 1
+        clock.reset()
+        assert clock.pending_events() == 0
+        clock.advance(10.0)
+        assert fired == []
+
+    def test_unscheduled_clock_behaves_as_before(self):
+        clock = SimulatedClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance_to(1.0) == 1.5  # past timestamps ignored
+        assert clock.advance_to(2.0) == 2.0

@@ -95,3 +95,39 @@ class TestWireMessage:
         message = response_message(500)
         assert message.kind == "response"
         assert message.payload_bytes == 500
+
+    def test_packets_delegates_to_model(self):
+        """WireMessage.packets is the same arithmetic as the model's."""
+        model = ProtocolOverheadModel()
+        message = response_message(3 * DEFAULT_MSS + 1)
+        assert message.packets(model) == model.packets_for(3 * DEFAULT_MSS + 1)
+        assert message.packets(model) == 4
+
+    def test_empty_message_still_one_packet(self):
+        """The zero-payload edge is encoded once, in the model."""
+        model = ProtocolOverheadModel()
+        message = request_message(0)
+        assert message.packets(model) == 1
+        assert message.wire_bytes(model) == model.wire_bytes_for(0)
+
+    def test_packets_disabled_model(self):
+        message = response_message(5000)
+        assert message.packets(ProtocolOverheadModel(enabled=False)) == 0
+
+    def test_slots_no_instance_dict(self):
+        """Hot-path messages stay dict-free (one per send on the serve path)."""
+        message = response_message(10)
+        assert not hasattr(message, "__dict__")
+        with pytest.raises(AttributeError):
+            message.unknown_attribute = 1
+
+    def test_trace_stays_assignable(self):
+        """Channels stamp trace context after construction."""
+        message = response_message(10)
+        assert message.trace is None
+        message.trace = object()
+        assert message.trace is not None
+
+    def test_equality_by_fields(self):
+        assert request_message(5, page="/x") == request_message(5, page="/x")
+        assert request_message(5) != request_message(6)
