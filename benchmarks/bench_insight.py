@@ -1,0 +1,37 @@
+"""Insight-layer overhead benchmark and CI regression gate.
+
+Thin wrapper around :mod:`repro.perf.insight` / :mod:`repro.bench`:
+
+    python benchmarks/bench_insight.py              # full measurement
+    python benchmarks/bench_insight.py --smoke      # CI gate vs BENCH_INSIGHT.json
+    python benchmarks/bench_insight.py --record     # refresh the baseline
+
+Two gates apply: the runner itself fails when the lower-quartile overhead
+of an attached insight layer reaches 5%, and the smoke gate additionally
+fails (exit 1) when the detached/attached ratio drops more than 10% below
+the committed smoke baseline in ``BENCH_INSIGHT.json`` — see
+docs/PERFORMANCE.md for how to read the file.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench import main as bench_main  # noqa: E402 - after sys.path setup
+
+
+def main(argv=None):
+    """Run the insight overhead benchmark via the uniform runner."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    default_json = os.path.join(_ROOT, "BENCH_INSIGHT.json")
+    if "--json" not in arguments:
+        arguments += ["--json", default_json]
+    return bench_main(["insight"] + arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

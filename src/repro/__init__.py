@@ -30,7 +30,7 @@ See README.md for the architecture tour and DESIGN.md for the module map.
 __version__ = "1.0.0"
 
 from . import analysis, appserver, baselines, cms, core, database, faults
-from . import harness, network, overload, sites, telemetry, workload
+from . import harness, insight, network, overload, sites, telemetry, workload
 from .errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -54,6 +54,7 @@ __all__ = [
     "database",
     "faults",
     "harness",
+    "insight",
     "network",
     "overload",
     "sites",

@@ -28,6 +28,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from .perf import hotpath as _hotpath
+from .perf import insight as _insight
 from .perf import scan as _scan
 
 
@@ -66,6 +67,13 @@ REGISTRY: Dict[str, BenchSpec] = {
         runner=_scan.run_scan,
         default_json="BENCH_SCAN.json",
         smoke_settings=_scan.SMOKE_SETTINGS,
+    ),
+    "insight": BenchSpec(
+        name="insight",
+        description="insight-layer overhead, attached vs detached (<5% gate)",
+        runner=_insight.run_insight,
+        default_json="BENCH_INSIGHT.json",
+        smoke_settings=_insight.SMOKE_SETTINGS,
     ),
 }
 

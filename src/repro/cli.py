@@ -8,6 +8,7 @@
     python -m repro case-study edge
     python -m repro all                        # everything
     python -m repro bench --list               # perf benchmarks (repro.bench)
+    python -m repro doctor                     # cache diagnosis (repro.insight)
 
 Each command prints the same rows the corresponding figure/table reports
 (and that EXPERIMENTS.md records).
@@ -214,14 +215,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
     ``python -m repro bench ...`` is routed to the benchmark runner
-    (:mod:`repro.bench`), which owns its own argument parser; everything
-    else is an artifact name handled here.
+    (:mod:`repro.bench`) and ``python -m repro doctor ...`` to the cache
+    diagnosis CLI (:mod:`repro.insight.doctor`); each owns its own
+    argument parser.  Everything else is an artifact name handled here.
     """
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "bench":
         from .bench import main as bench_main
 
         return bench_main(arguments[1:])
+    if arguments and arguments[0] == "doctor":
+        from .insight.doctor import main as doctor_main
+
+        return doctor_main(arguments[1:])
     args = build_parser().parse_args(arguments)
     requested: List[str] = []
     for name in args.artifacts:

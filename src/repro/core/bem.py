@@ -221,6 +221,17 @@ class BackEndMonitor:
         """Wire a database's trigger bus into the invalidation manager."""
         self.invalidation.attach(bus)
 
+    def attach_insight(self, insight) -> None:
+        """Attach a miss-cause/reuse observer to the cache directory.
+
+        ``insight`` is duck-typed (normally a
+        :class:`repro.insight.InsightLayer`) and simply forwarded to
+        :meth:`repro.core.cache_directory.CacheDirectory.attach_insight`,
+        mirroring :meth:`attach_degrader` so the core stays
+        import-independent of the insight subsystem.
+        """
+        self.directory.attach_insight(insight)
+
     def attach_degrader(self, degrader) -> None:
         """Enable the stale-on-late fallback for deadline-pressured requests.
 

@@ -197,6 +197,20 @@ class CacheDirectory:
         self._entries: Dict[str, DirectoryEntry] = {}
         self._valid_by_key: Dict[int, DirectoryEntry] = {}
         self.stats = DirectoryStats()
+        #: Duck-typed :class:`repro.insight.InsightLayer` (anything exposing
+        #: ``record_access``/``record_removal``/``record_insert``); ``None``
+        #: keeps the pre-insight behavior at one attribute check per lookup.
+        self.insight = None
+
+    def attach_insight(self, insight) -> None:
+        """Attach a lifecycle observer (miss-cause ledger + profiler).
+
+        ``insight`` is duck-typed so the core stays import-independent of
+        :mod:`repro.insight`.  The replacement policy is wired too, so
+        eviction victims report their diagnostics through the same layer.
+        """
+        self.insight = insight
+        self.policy.insight = insight
 
     # -- lookup -------------------------------------------------------------------
 
@@ -209,19 +223,26 @@ class CacheDirectory:
         exists anyway for memory hygiene; see :meth:`expire_stale`).
         """
         self.stats.lookups += 1
-        entry = self._entries.get(fragment_id.canonical())
+        canonical = fragment_id.canonical()
+        entry = self._entries.get(canonical)
         if entry is None:
             self.stats.misses += 1
+            if self.insight is not None:
+                self.insight.record_access(canonical, hit=False)
             return None
         if entry.is_valid and not entry.fresh(now):
             self.stats.ttl_expirations += 1
-            self._invalidate_entry(entry)
+            self._invalidate_entry(entry, reason="ttl_expired")
         if not entry.is_valid:
             self.stats.misses += 1
+            if self.insight is not None:
+                self.insight.record_access(canonical, hit=False)
             return None
         entry.last_access = now
         entry.hits += 1
         self.stats.hits += 1
+        if self.insight is not None:
+            self.insight.record_access(canonical, hit=True)
         return entry
 
     def peek(self, fragment_id: FragmentID) -> Optional[DirectoryEntry]:
@@ -249,7 +270,7 @@ class CacheDirectory:
         if old is not None and old.is_valid:
             # Re-inserting over a valid entry means the caller decided to
             # regenerate (e.g. forced refresh): recycle the old key first.
-            self._invalidate_entry(old)
+            self._invalidate_entry(old, reason="refreshed")
         if len(self.free_list) == 0:
             self._evict_one(now)
         key = self.free_list.pop()
@@ -267,6 +288,8 @@ class CacheDirectory:
         self._entries[canonical] = entry
         self._valid_by_key[key] = entry
         self.stats.insertions += 1
+        if self.insight is not None:
+            self.insight.record_insert(canonical)
         return entry
 
     def _evict_one(self, now: float) -> None:
@@ -276,32 +299,40 @@ class CacheDirectory:
                 "directory is full and no entry is eligible for eviction"
             )
         self.stats.evictions += 1
-        self._invalidate_entry(victim)
+        self.policy.record_victim(victim, now)
+        self._invalidate_entry(victim, reason="evicted_capacity")
 
     # -- invalidation ----------------------------------------------------------------
 
-    def invalidate(self, fragment_id: FragmentID) -> bool:
-        """Invalidate one fragment by identity; True if it was valid."""
+    def invalidate(
+        self, fragment_id: FragmentID, reason: str = "data_invalidated"
+    ) -> bool:
+        """Invalidate one fragment by identity; True if it was valid.
+
+        ``reason`` feeds miss-cause attribution when an insight layer is
+        attached (data-source invalidation by default; recovery passes
+        ``fault_quarantine``).
+        """
         entry = self._entries.get(fragment_id.canonical())
         if entry is None or not entry.is_valid:
             return False
         self.stats.invalidations += 1
-        self._invalidate_entry(entry)
+        self._invalidate_entry(entry, reason=reason)
         return True
 
-    def invalidate_where(self, predicate) -> int:
+    def invalidate_where(self, predicate, reason: str = "data_invalidated") -> int:
         """Invalidate every valid entry matching ``predicate(entry)``."""
         victims = [
             entry for entry in self._valid_by_key.values() if predicate(entry)
         ]
         for entry in victims:
             self.stats.invalidations += 1
-            self._invalidate_entry(entry)
+            self._invalidate_entry(entry, reason=reason)
         return len(victims)
 
-    def invalidate_all(self) -> int:
+    def invalidate_all(self, reason: str = "data_invalidated") -> int:
         """Invalidate every valid entry; returns the count."""
-        return self.invalidate_where(lambda entry: True)
+        return self.invalidate_where(lambda entry: True, reason=reason)
 
     def expire_stale(self, now: float) -> int:
         """Background sweep: invalidate every TTL-expired entry."""
@@ -312,10 +343,12 @@ class CacheDirectory:
         ]
         for entry in expired:
             self.stats.ttl_expirations += 1
-            self._invalidate_entry(entry)
+            self._invalidate_entry(entry, reason="ttl_expired")
         return len(expired)
 
-    def _invalidate_entry(self, entry: DirectoryEntry) -> None:
+    def _invalidate_entry(
+        self, entry: DirectoryEntry, reason: str = "data_invalidated"
+    ) -> None:
         """§4.3.3: flip isValid and push the dpcKey onto the freeList."""
         if not entry.is_valid:
             return
@@ -327,6 +360,8 @@ class CacheDirectory:
         canonical = entry.fragment_id.canonical()
         if self._entries.get(canonical) is entry:
             del self._entries[canonical]
+        if self.insight is not None:
+            self.insight.record_removal(canonical, reason)
 
     # -- repair (recovery API; see repro.faults.recovery) --------------------------
 
@@ -373,6 +408,10 @@ class CacheDirectory:
             entry.is_valid = False
             del self._entries[canonical]
             orphaned_records += 1
+            if self.insight is not None:
+                # Repair dropped bookkeeping that could not be trusted; the
+                # next miss on the fragment is recovery's doing.
+                self.insight.record_removal(canonical, "fault_quarantine")
         keys_reclaimed = self.rebuild_free_list()
         self.check_invariants()
         return RepairReport(

@@ -117,6 +117,14 @@ class DynamicProxyCache:
         #: BEM can detect a restart from normal SET/GET traffic and run the
         #: resync protocol instead of failing on the first stale GET.
         self.epoch = 0
+        #: Duck-typed :class:`repro.insight.InsightLayer` (anything exposing
+        #: ``record_dpc_wipe``); notified on :meth:`clear` only, so the
+        #: assembly hot path carries no insight cost at all.
+        self._insight = None
+
+    def attach_insight(self, insight) -> None:
+        """Attach a lifecycle observer notified when the slot array wipes."""
+        self._insight = insight
 
     # -- slot primitives ---------------------------------------------------------
 
@@ -270,6 +278,8 @@ class DynamicProxyCache:
         self._slots = [None] * self.capacity
         self.parse_cache.clear()
         self.epoch += 1
+        if self._insight is not None:
+            self._insight.record_dpc_wipe(self.epoch)
 
     @property
     def bytes_scanned(self) -> int:

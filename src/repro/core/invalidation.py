@@ -150,7 +150,9 @@ class InvalidationManager:
                 )
                 for dep in dependencies
             ):
-                if self.directory.invalidate(fragment_id):
+                if self.directory.invalidate(
+                    fragment_id, reason="data_invalidated"
+                ):
                     self.fragments_invalidated += 1
                 doomed.append((canonical, fragment_id, dependencies))
         for canonical, fragment_id, dependencies in doomed:

@@ -26,11 +26,34 @@ class ReplacementPolicy:
 
     name = "abstract"
 
+    #: Duck-typed :class:`repro.insight.InsightLayer` (anything exposing
+    #: ``record_eviction``); set by ``CacheDirectory.attach_insight`` so
+    #: eviction victims carry per-policy diagnostics.  ``None`` disables.
+    insight = None
+
     def select_victim(
         self, entries: Iterable["DirectoryEntry"], now: float
     ) -> Optional["DirectoryEntry"]:
         """Choose one entry to evict, or None if no candidates."""
         raise NotImplementedError
+
+    def record_victim(self, victim: "DirectoryEntry", now: float) -> None:
+        """Report one eviction's diagnostics to the attached insight layer.
+
+        Called by the directory just before the victim is invalidated, so
+        ``last_access``/``hits`` still reflect the entry's lived history.
+        The idle time (now minus last access) is the number capacity
+        diagnosis cares about: victims evicted while recently hot indicate
+        a cache that is genuinely too small, victims idle for ages are free
+        to drop.
+        """
+        if self.insight is not None:
+            self.insight.record_eviction(
+                self.name,
+                max(0.0, now - victim.last_access),
+                victim.hits,
+                victim.size_bytes,
+            )
 
 
 class LruPolicy(ReplacementPolicy):

@@ -77,6 +77,32 @@ class TagRegistry:
         self._tags[name] = block
         return block
 
+    def retag(
+        self,
+        name: str,
+        ttl: Optional[float] = None,
+        dependencies: Optional[DependencyFactory] = None,
+        cacheable: bool = True,
+    ) -> BlockTag:
+        """Replace an existing block's cacheability declaration.
+
+        Re-running the tagging pass on one block — the operational move when
+        initial metadata turns out wrong (e.g. adding a TTL after the insight
+        layer shows a block never expires).  Raises
+        :class:`~repro.errors.TaggingError` if the block was never tagged, so
+        typos cannot silently create new tags.
+        """
+        if name not in self._tags:
+            raise TaggingError("block %r is not tagged; use tag() first" % name)
+        block = BlockTag(
+            name=name,
+            ttl=ttl,
+            cacheable=cacheable,
+            dependency_factory=dependencies,
+        )
+        self._tags[name] = block
+        return block
+
     def lookup(self, name: str) -> Optional[BlockTag]:
         """The tag declared for a block name, or None if untagged."""
         return self._tags.get(name)

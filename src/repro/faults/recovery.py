@@ -98,7 +98,9 @@ class ResyncProtocol:
             )
         directory = self.bem.directory
         repair = self._repair(directory)
-        dropped = directory.invalidate_where(lambda e: e.epoch < new_epoch)
+        dropped = directory.invalidate_where(
+            lambda e: e.epoch < new_epoch, reason="fault_quarantine"
+        )
         mismatches = self._reconcile_slots(directory)
         self.bem.epoch = new_epoch
         self.stats.epoch_resyncs += 1
@@ -174,7 +176,9 @@ class ResyncProtocol:
         dropped = 0
         for key in keys:
             entry = directory.entry_for_key(key)
-            if entry is not None and directory.invalidate(entry.fragment_id):
+            if entry is not None and directory.invalidate(
+                entry.fragment_id, reason="fault_quarantine"
+            ):
                 dropped += 1
         self.stats.quarantined_sets += dropped
         self.stats.entries_dropped += dropped
@@ -195,7 +199,8 @@ class ResyncProtocol:
 
     def _reconcile_slots(self, directory) -> int:
         mismatches = directory.invalidate_where(
-            lambda e: not self.dpc.slot_in_use(e.dpc_key)
+            lambda e: not self.dpc.slot_in_use(e.dpc_key),
+            reason="fault_quarantine",
         )
         self.stats.slot_mismatches += mismatches
         return mismatches

@@ -8,19 +8,15 @@ component publishes its own ``metric_rows()`` provider and
 collects — same rows, same order, same rendering, but one naming scheme
 (:data:`repro.telemetry.METRIC_NAMES`) and no duplicated bookkeeping.
 
-:class:`DeploymentSnapshot` survives as a **deprecated shim** so existing
-call sites keep working: ``add``/``get``/``names``/``render`` delegate to
-the backing registry, and ``add`` emits :class:`DeprecationWarning`
-(register a provider or use :meth:`~repro.telemetry.MetricsRegistry.record`
-instead).  The only name change relative to the pre-registry output is
-``objects.memoized`` → ``bem.objects.memoized``
-(:data:`repro.telemetry.DEPRECATED_ALIASES`); ``get`` resolves the old
-spelling with a warning.
+:class:`DeploymentSnapshot` survives as a read-only facade over the
+registry (``get``/``names``/``render``/``rows``).  The deprecated ``add``
+method and the ``objects.memoized`` → ``bem.objects.memoized`` resolution
+alias completed their deprecation cycle and were removed; use
+:meth:`~repro.telemetry.MetricsRegistry.record` and the canonical name.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional, Tuple
 
 from ..core.bem import BackEndMonitor
@@ -28,18 +24,17 @@ from ..core.dpc import DynamicProxyCache
 from ..network.firewall import Firewall
 from ..network.sniffer import Sniffer
 from ..telemetry.metrics import MetricsRegistry
-from ..telemetry.naming import DEPRECATED_ALIASES
 from .reporting import format_table
 
 
 class DeploymentSnapshot:
     """Point-in-time health view of one BEM/DPC deployment.
 
-    .. deprecated::
-        Kept as a compatibility facade over
-        :class:`repro.telemetry.MetricsRegistry`.  New code should use the
-        registry directly (``registry.collect()`` /
-        :func:`repro.telemetry.render_metrics`).
+    A read-only facade over :class:`repro.telemetry.MetricsRegistry`.  New
+    code should use the registry directly (``registry.collect()`` /
+    :func:`repro.telemetry.render_metrics`); the facade remains because
+    ``snapshot.get(name)`` / ``snapshot.render()`` is the idiom every
+    harness script and doc example uses.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -50,33 +45,10 @@ class DeploymentSnapshot:
         """Every metric row, in provider registration order."""
         return self.registry.collect()
 
-    def add(self, name: str, value: object) -> None:
-        """Append one metric row.  Deprecated: use the registry."""
-        warnings.warn(
-            "DeploymentSnapshot.add() is deprecated; register a metric_rows()"
-            " provider or use MetricsRegistry.record() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.registry.record(name, value)
-
     def get(self, name: str) -> object:
-        """Look up a metric by name; raises KeyError if absent.
-
-        Pre-registry spellings in
-        :data:`repro.telemetry.DEPRECATED_ALIASES` are resolved to their
-        canonical names with a :class:`DeprecationWarning`.
-        """
-        canonical = DEPRECATED_ALIASES.get(name)
+        """Look up a metric by canonical name; raises KeyError if absent."""
         for row_name, value in self.registry.collect():
             if row_name == name:
-                return value
-            if canonical is not None and row_name == canonical:
-                warnings.warn(
-                    "metric %r was renamed to %r" % (name, canonical),
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
                 return value
         raise KeyError(name)
 
@@ -100,6 +72,8 @@ def take_snapshot(
     db=None,
     breaker=None,
     tracer=None,
+    insight=None,
+    slo=None,
     registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentSnapshot:
     """Collect the current counters of whichever components are given.
@@ -108,18 +82,20 @@ def take_snapshot(
     component is registered as a row provider (they all expose
     ``metric_rows()``) and the returned :class:`DeploymentSnapshot` reads
     straight from ``registry.collect()``.  ``recovery``, ``overload``,
-    ``db``, ``breaker`` and ``tracer`` are duck-typed so this module stays
-    import-independent of those subsystems; ``breaker`` may be a
-    :class:`repro.overload.breaker.CircuitBreaker` (its ``stats`` carries
-    the rows) or the stats object itself.  Pass ``registry`` to accumulate
-    into an existing registry instead of a fresh one.
+    ``db``, ``breaker``, ``tracer``, ``insight`` and ``slo`` are duck-typed
+    so this module stays import-independent of those subsystems; ``breaker``
+    may be a :class:`repro.overload.breaker.CircuitBreaker` (its ``stats``
+    carries the rows) or the stats object itself; ``insight`` is a
+    :class:`repro.insight.InsightLayer` and ``slo`` a
+    :class:`repro.insight.SloEngine`.  Pass ``registry`` to accumulate into
+    an existing registry instead of a fresh one.
     """
     reg = registry if registry is not None else MetricsRegistry()
     if breaker is not None:
         breaker = getattr(breaker, "stats", breaker)
     for component in (
         bem, dpc, firewall, sniffer, recovery, overload, channel,
-        db, breaker, tracer,
+        db, breaker, tracer, insight, slo,
     ):
         if component is not None:
             reg.register_provider(component)

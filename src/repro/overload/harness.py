@@ -238,6 +238,11 @@ class OverloadHarness:
         self._current: Optional[OverloadBucket] = None
         self._fresh_pages = 0  # drives the every-Nth oracle check
         self._stale_serves_mark = 0
+        #: Per-request observers, called as ``observer(index, timed,
+        #: outcome, predicted_hit)`` after each request is accounted.  The
+        #: doctor CLI uses these to feed SLO sample streams; the harness
+        #: itself stays SLO-unaware.
+        self.request_observers: List = []
 
     # -- the run loop --------------------------------------------------------
 
@@ -260,6 +265,10 @@ class OverloadHarness:
             tb._churn_fragments(timed.request)
             outcome, html, predicted_hit = self._serve(timed)
             self._account(result, index, timed, outcome, html, predicted_hit)
+            if outcome in ("shed", "timed_out"):
+                self._note_shed_fragments(timed.request)
+            for observer in self.request_observers:
+                observer(index, timed, outcome, predicted_hit)
             if self.degrader is not None:
                 self.degrader.revalidate_due()
 
@@ -407,6 +416,35 @@ class OverloadHarness:
             if entry is None or not entry.is_valid or not entry.fresh(now):
                 return False
         return saw_cacheable
+
+    def _note_shed_fragments(self, request) -> None:
+        """Tell the insight ledger which refill opportunities were shed.
+
+        A shed (or screened-out) request would have regenerated every
+        cacheable fragment of its page that is currently absent or unfresh;
+        with a miss-cause ledger attached to the directory
+        (:meth:`repro.core.cache_directory.CacheDirectory.attach_insight`),
+        the *next* miss on each of those fragments is attributed to
+        ``shed_overload`` instead of whatever removed it.  Fragments still
+        fresh are untouched — sheds never concern them — and without an
+        attached ledger this is a no-op.
+        """
+        monitor = self.testbed.monitor
+        if not isinstance(monitor, BackEndMonitor):
+            return
+        insight = monitor.directory.insight
+        if insight is None:
+            return
+        params = self.config.testbed.synthetic
+        page_id = int(request.param("pageID", "0"))
+        now = self.testbed.clock.now()
+        for pool_index in params.pool_indexes_for_page(page_id):
+            if not params.is_cacheable(pool_index):
+                continue
+            fragment_id = FragmentID.create("frag", {"id": pool_index})
+            entry = monitor.directory.peek(fragment_id)
+            if entry is None or not entry.is_valid or not entry.fresh(now):
+                insight.note_shed(fragment_id.canonical())
 
     def _stale_fragments_served(self, timed) -> bool:
         """Whether the request just served consumed any stale fragments."""

@@ -8,6 +8,7 @@ JSON-serializable result dicts.  The scripts in ``benchmarks/`` and the
 """
 
 from .hotpath import SMOKE_SETTINGS, run_hotpath
+from .insight import run_insight
 from .scan import run_scan
 
-__all__ = ["run_hotpath", "run_scan", "SMOKE_SETTINGS"]
+__all__ = ["run_hotpath", "run_insight", "run_scan", "SMOKE_SETTINGS"]

@@ -1,0 +1,172 @@
+"""Insight-layer overhead on the Figure 4 testbed: attached vs detached.
+
+This is the benchmark behind ``BENCH_INSIGHT.json``: the full serve path
+run twice over the identical seeded workload — once with an
+:class:`~repro.insight.layer.InsightLayer` (ledger + Mattson profiler)
+attached to the BEM directory and DPC, once detached — to measure what the
+observability layer costs.  Since insight is pure observation, the two
+runs must also produce byte-identical measured results; the benchmark
+refuses to report otherwise.
+
+Measurement method (same scheme as :mod:`repro.perf.hotpath`): wall time
+on a shared box is noisy, so the two configurations run as back-to-back
+*pairs* with the order alternating between pairs, GC disabled, and the
+gated numbers are quartiles of the per-pair ratios.  The hard gate is
+``overhead.lower_quartile < bound`` (default 5%): a real overhead
+regression slows every pair and still trips it, while a co-tenant burst
+inflates only some pairs and cannot manufacture a failure.
+
+What is gated is the *serve-path* observation cost — the per-lookup hooks.
+The profiler's Fenwick folding is deferred to diagnosis time by design
+(see :mod:`repro.insight.mattson`), so it never appears inside the request
+loop this benchmark times.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Dict, List, Tuple
+
+from ..harness.testbed import Testbed, TestbedConfig, TestbedResult
+from ..insight.layer import InsightLayer
+from ..sites.synthetic import SyntheticParams
+from .hotpath import ACCOUNTING_FIELDS, DEFAULT_WORKLOAD
+
+#: Maximum tolerated lower-quartile fractional overhead of an attached
+#: insight layer (the acceptance bar: "<5% on the Figure 4 testbed").
+OVERHEAD_BOUND = 0.05
+
+#: Reduced settings for the CI smoke gate (``repro bench insight --smoke``
+#: and the doctor's ``--smoke`` self-check).  The true per-lookup cost is
+#: ~1%, far under the 5% gate, but each timed run is only ~100 ms, so the
+#: smoke sizing keeps enough pairs for the lower quartile to sit below the
+#: several-percent co-tenant noise floor.
+SMOKE_SETTINGS: Dict[str, int] = {"requests": 200, "pairs": 7, "warmup": 40}
+
+
+def _timed_run(
+    attached: bool, requests: int, warmup: int, seed: int
+) -> Tuple[float, TestbedResult]:
+    """One seeded testbed run, with or without insight; (wall s, result)."""
+    config = TestbedConfig(
+        mode="dpc",
+        synthetic=SyntheticParams(**DEFAULT_WORKLOAD),
+        target_hit_ratio=0.9,
+        requests=requests,
+        warmup_requests=warmup,
+        seed=seed,
+    )
+    testbed = Testbed(config)
+    if attached:
+        InsightLayer().attach(bem=testbed.monitor, dpc=testbed.dpc)
+    start = time.perf_counter()
+    result = testbed.run()
+    wall = time.perf_counter() - start
+    return wall, result
+
+
+def _check_identical(
+    attached: TestbedResult, detached: TestbedResult
+) -> Dict[str, object]:
+    """Cross-check that observation changed nothing; raises on any drift."""
+    accounting: Dict[str, object] = {}
+    for field in ACCOUNTING_FIELDS:
+        attached_value = getattr(attached, field)
+        detached_value = getattr(detached, field)
+        if attached_value != detached_value:
+            raise AssertionError(
+                "insight attachment changed %s: %r != %r"
+                % (field, attached_value, detached_value)
+            )
+        accounting[field] = attached_value
+    return accounting
+
+
+def run_insight(
+    requests: int = 300,
+    pairs: int = 7,
+    warmup: int = 50,
+    seed: int = 7,
+    bound: float = OVERHEAD_BOUND,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Measure insight-layer overhead; returns a JSON-serializable dict.
+
+    ``pairs`` back-to-back (detached, attached) runs are timed with the
+    order alternating.  Within a pair each configuration is timed
+    ``repeats`` times and the minimum wall is kept — timing noise on a
+    shared box is one-sided (preemption only ever adds time), so the
+    minimum is the standard low-variance estimator.
+    ``overhead.lower_quartile`` is the lower quartile of per-pair
+    ``attached/detached - 1`` ratios and must stay below ``bound``
+    (raises :class:`AssertionError` otherwise); ``speedup`` mirrors the
+    other benchmarks' shape (``detached/attached``) so the shared
+    baseline gate applies unchanged.
+    """
+    overheads: List[float] = []
+    ratios: List[float] = []
+    attached_walls: List[float] = []
+    detached_walls: List[float] = []
+    accounting: Dict[str, object] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        _timed_run(True, requests, warmup, seed)  # warm allocator/caches
+        for index in range(pairs):
+            order = (False, True) if index % 2 == 0 else (True, False)
+            walls: Dict[bool, float] = {}
+            results: Dict[bool, TestbedResult] = {}
+            for attached in order:
+                gc.collect()
+                best = None
+                for _ in range(max(1, repeats)):
+                    wall, results[attached] = _timed_run(
+                        attached, requests, warmup, seed
+                    )
+                    best = wall if best is None else min(best, wall)
+                walls[attached] = best
+            accounting = _check_identical(results[True], results[False])
+            overheads.append(walls[True] / walls[False] - 1.0)
+            ratios.append(walls[False] / walls[True])
+            attached_walls.append(walls[True])
+            detached_walls.append(walls[False])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    overheads.sort()
+    ratios.sort()
+    attached_walls.sort()
+    detached_walls.sort()
+    overhead_lq = overheads[len(overheads) // 4]
+    result: Dict[str, object] = {
+        "benchmark": "insight",
+        "workload": dict(DEFAULT_WORKLOAD),
+        "requests": requests,
+        "warmup": warmup,
+        "pairs": pairs,
+        "repeats": repeats,
+        "seed": seed,
+        "overhead": {
+            "lower_quartile": round(overhead_lq, 4),
+            "median": round(overheads[len(overheads) // 2], 4),
+            "bound": bound,
+        },
+        "speedup": {
+            "lower_quartile": round(ratios[len(ratios) // 4], 4),
+            "median": round(ratios[len(ratios) // 2], 4),
+        },
+        "wall_s": {
+            "attached_median": round(attached_walls[len(attached_walls) // 2], 6),
+            "detached_median": round(detached_walls[len(detached_walls) // 2], 6),
+        },
+        "identical_accounting": True,
+        "accounting": accounting,
+    }
+    if overhead_lq >= bound:
+        raise AssertionError(
+            "insight overhead gate: lower-quartile overhead %.2f%% "
+            "exceeds the %.0f%% bound" % (overhead_lq * 100, bound * 100)
+        )
+    return result

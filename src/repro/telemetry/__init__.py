@@ -36,7 +36,6 @@ from .metrics import (
     Row,
 )
 from .naming import (
-    DEPRECATED_ALIASES,
     METRIC_NAMES,
     valid_metric_name,
     validate_metric_name,
@@ -54,7 +53,9 @@ from .export import (
     registry_from_rows,
     render_metrics,
     render_span_tree,
+    span_from_dict,
     span_to_dict,
+    spans_from_json_lines,
     spans_to_json_lines,
     to_json_lines,
 )
@@ -75,7 +76,6 @@ __all__ = [
     "MetricsRegistry",
     "Row",
     # naming
-    "DEPRECATED_ALIASES",
     "METRIC_NAMES",
     "valid_metric_name",
     "validate_metric_name",
@@ -91,7 +91,9 @@ __all__ = [
     "registry_from_rows",
     "render_metrics",
     "render_span_tree",
+    "span_from_dict",
     "span_to_dict",
+    "spans_from_json_lines",
     "spans_to_json_lines",
     "to_json_lines",
     # profiling

@@ -11,9 +11,10 @@ created through the registry) or as *providers* (any object exposing
 Instrument names are validated against the dotted scheme
 (:mod:`repro.telemetry.naming`).  The one escape hatch is
 :meth:`MetricsRegistry.record`, which appends a raw ad-hoc row with no
-validation — it exists solely so the deprecated ``DeploymentSnapshot.add``
-shim keeps working, and the lint test under ``tests/telemetry`` rejects
-new uses of it inside ``src/``.
+validation — it exists solely so exported snapshots can be reconstructed
+into value-level registries (:func:`repro.telemetry.export.registry_from_rows`),
+and the lint test under ``tests/telemetry`` rejects new uses of it inside
+``src/``.
 """
 
 from __future__ import annotations
@@ -225,8 +226,8 @@ class MetricsRegistry:
     def record(self, name: str, value: object) -> None:
         """Append one raw ad-hoc row (no name validation, duplicates kept).
 
-        Exists only for the deprecated ``DeploymentSnapshot.add`` shim and
-        for reconstructing registries from exported rows; new code should
+        Exists only for reconstructing registries from exported rows
+        (:func:`repro.telemetry.export.registry_from_rows`); new code should
         register instruments or providers under canonical dotted names.
         """
         self._adhoc.append((name, value))

@@ -8,17 +8,10 @@ deployment snapshot can emit is published as :data:`METRIC_NAMES` so tools
 (and the lint test under ``tests/telemetry``) can reject ad-hoc strings
 before they ossify into accidental API.
 
-Name normalization (PR 3) renamed one legacy row:
-
-======================  ==========================
-old name                canonical name
-======================  ==========================
-``objects.memoized``    ``bem.objects.memoized``
-======================  ==========================
-
-The old spelling still resolves through
-:meth:`repro.harness.monitoring.DeploymentSnapshot.get`, with a
-``DeprecationWarning``.
+Name normalization (PR 3) renamed one legacy row, ``objects.memoized`` →
+``bem.objects.memoized``; the deprecation alias that let the old spelling
+resolve was removed after one deprecation cycle, so only the canonical
+name exists now.
 """
 
 from __future__ import annotations
@@ -31,10 +24,18 @@ from ..errors import ConfigurationError
 #: first segment starting with a letter.
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 
-#: Legacy row names still accepted (with a warning) by the snapshot shim.
-DEPRECATED_ALIASES = {
-    "objects.memoized": "bem.objects.memoized",
-}
+#: Miss causes mirrored from :data:`repro.insight.ledger.MISS_CAUSES`.
+#: Kept literal here (rather than imported) so the telemetry package stays
+#: import-independent of the insight subsystem; a test asserts the two
+#: stay in sync.
+_MISS_CAUSES = (
+    "cold",
+    "ttl_expired",
+    "data_invalidated",
+    "evicted_capacity",
+    "shed_overload",
+    "fault_quarantine",
+)
 
 #: Rejection reasons mirrored from :data:`repro.overload.accounting.DROP_REASONS`.
 #: Kept literal here (rather than imported) so the telemetry package stays
@@ -112,6 +113,23 @@ METRIC_NAMES = (
     # -- the telemetry layer itself ----------------------------------------
     "trace.spans_opened",
     "trace.traces_completed",
+    # -- cache insight (repro.insight) --------------------------------------
+    tuple("insight.miss.%s" % cause for cause in _MISS_CAUSES),
+    "insight.miss.total",
+    "insight.hits",
+    "insight.accesses",
+    "insight.mattson.accesses",
+    "insight.mattson.distinct_fragments",
+    "insight.mattson.cold_misses",
+    "insight.mattson.stale_misses",
+    "insight.eviction.victims",
+    "insight.eviction.mean_idle_s",
+    "insight.dpc.wipes",
+    # -- SLO engine (repro.insight.slo) -------------------------------------
+    "slo.objectives",
+    "slo.samples",
+    "slo.alerts_fired",
+    "slo.alerts_active",
 )
 # Flatten the nested drop-reason tuple while preserving order.
 METRIC_NAMES = tuple(

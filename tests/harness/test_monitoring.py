@@ -63,9 +63,8 @@ class TestSnapshot:
 
     def test_names_and_missing_lookup(self):
         snapshot = DeploymentSnapshot()
-        with pytest.deprecated_call():
-            snapshot.add("a", 1)
-        assert snapshot.names() == ["a"]
+        snapshot.registry.register_provider(lambda: [("demo.a", 1)])
+        assert snapshot.names() == ["demo.a"]
         with pytest.raises(KeyError):
             snapshot.get("zzz")
 
@@ -75,24 +74,19 @@ class TestSnapshot:
         assert 0.0 <= snapshot.get("directory.utilization") <= 1.0
 
 
-class TestDeprecatedShim:
-    """The legacy surface still works, loudly, on top of the registry."""
+class TestRemovedShim:
+    """The deprecation cycle is over: the legacy surface is gone."""
 
-    def test_add_warns_and_still_records(self):
+    def test_add_is_gone(self):
         snapshot = DeploymentSnapshot()
-        with pytest.deprecated_call():
-            snapshot.add("legacy.metric", 7)
-        assert snapshot.get("legacy.metric") == 7
-        assert snapshot.names() == ["legacy.metric"]
+        assert not hasattr(snapshot, "add")
 
-    def test_renamed_metric_resolves_with_a_warning(self, active_deployment):
+    def test_renamed_metric_no_longer_resolves(self, active_deployment):
         bem, dpc = active_deployment
         snapshot = take_snapshot(bem=bem)
-        canonical = snapshot.get("bem.objects.memoized")
-        with pytest.deprecated_call(match="renamed"):
-            legacy = snapshot.get("objects.memoized")
-        assert legacy == canonical
-        assert "objects.memoized" not in snapshot.names()
+        assert snapshot.get("bem.objects.memoized") >= 0
+        with pytest.raises(KeyError):
+            snapshot.get("objects.memoized")
 
     def test_snapshot_is_a_view_over_a_registry(self, active_deployment):
         from repro.telemetry import MetricsRegistry
@@ -136,6 +130,32 @@ class TestNewSections:
         snapshot = take_snapshot(tracer=tracer)
         assert snapshot.get("trace.traces_completed") == 1
         assert snapshot.get("trace.spans_opened") == 2
+
+
+class TestInsightSection:
+    def test_insight_rows_surface(self):
+        from repro.insight import InsightLayer
+
+        insight = InsightLayer()
+        insight.record_access("frag?id=1", hit=False)
+        insight.record_access("frag?id=1", hit=True)
+        snapshot = take_snapshot(insight=insight)
+        assert snapshot.get("insight.miss.cold") == 1
+        assert snapshot.get("insight.hits") == 1
+        assert snapshot.get("insight.mattson.accesses") == 2
+
+    def test_slo_rows_surface(self):
+        from repro.insight import SloEngine, SloObjective
+
+        engine = SloEngine([SloObjective(
+            name="slo.demo", metric="demo.metric",
+            comparator="<=", threshold=1.0, min_samples=1,
+        )])
+        engine.observe("demo.metric", 0.5, now=1.0)
+        snapshot = take_snapshot(slo=engine)
+        assert snapshot.get("slo.objectives") == 1
+        assert snapshot.get("slo.samples") == 1
+        assert snapshot.get("slo.alerts_fired") == 0
 
 
 class TestOverloadSection:

@@ -1,0 +1,128 @@
+"""Miss-cause ledger: pending-reason mechanics and the sum invariant."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.insight.ledger import MISS_CAUSES, REMOVAL_REASONS, MissCauseLedger
+
+
+class FakeStats:
+    def __init__(self, misses):
+        self.misses = misses
+
+
+class FakeDirectory:
+    def __init__(self, misses):
+        self.stats = FakeStats(misses)
+
+
+class TestAttribution:
+    def test_first_miss_is_cold(self):
+        ledger = MissCauseLedger()
+        ledger.record_access("frag?id=1", hit=False)
+        assert ledger.counts["cold"] == 1
+        assert ledger.misses == 1
+
+    def test_removal_reason_consumed_by_next_miss(self):
+        ledger = MissCauseLedger()
+        ledger.record_access("f", hit=False)
+        ledger.record_insert("f")
+        ledger.record_removal("f", "ttl_expired")
+        ledger.record_access("f", hit=False)
+        assert ledger.counts["ttl_expired"] == 1
+        # The reason is consumed exactly once; the next miss is cold again.
+        ledger.record_access("f", hit=False)
+        assert ledger.counts["cold"] == 2
+
+    @pytest.mark.parametrize("reason", [
+        r for r in REMOVAL_REASONS if r != "refreshed"
+    ])
+    def test_every_removal_reason_attributes(self, reason):
+        ledger = MissCauseLedger()
+        ledger.record_removal("f", reason)
+        ledger.record_access("f", hit=False)
+        assert ledger.counts[reason] == 1
+
+    def test_refreshed_never_becomes_a_cause(self):
+        ledger = MissCauseLedger()
+        ledger.record_removal("f", "data_invalidated")
+        ledger.record_removal("f", "refreshed")
+        ledger.record_access("f", hit=False)
+        assert ledger.counts["cold"] == 1
+        assert ledger.counts["data_invalidated"] == 0
+
+    def test_insert_clears_pending(self):
+        ledger = MissCauseLedger()
+        ledger.record_removal("f", "evicted_capacity")
+        ledger.record_insert("f")
+        ledger.record_access("f", hit=False)
+        assert ledger.counts["cold"] == 1
+
+    def test_hit_clears_stale_pending(self):
+        ledger = MissCauseLedger()
+        ledger.note_shed("f")
+        ledger.record_access("f", hit=True)
+        ledger.record_access("f", hit=False)
+        assert ledger.counts["cold"] == 1
+        assert ledger.counts["shed_overload"] == 0
+
+    def test_shed_note_attributes_next_miss(self):
+        ledger = MissCauseLedger()
+        ledger.note_shed("f")
+        ledger.record_access("f", hit=False)
+        assert ledger.counts["shed_overload"] == 1
+
+    def test_later_precise_removal_overwrites_shed_note(self):
+        ledger = MissCauseLedger()
+        ledger.note_shed("f")
+        ledger.record_removal("f", "ttl_expired")
+        ledger.record_access("f", hit=False)
+        assert ledger.counts["ttl_expired"] == 1
+        assert ledger.counts["shed_overload"] == 0
+
+    def test_unknown_reason_rejected(self):
+        ledger = MissCauseLedger()
+        with pytest.raises(ConfigurationError, match="unknown removal reason"):
+            ledger.record_removal("f", "meteor_strike")
+
+
+class TestInvariants:
+    def test_sum_invariant_holds(self):
+        ledger = MissCauseLedger()
+        for index in range(10):
+            ledger.record_access("f%d" % index, hit=False)
+        ledger.record_removal("f0", "ttl_expired")
+        ledger.record_access("f0", hit=False)
+        ledger.check_invariants()
+        assert ledger.cause_total() == ledger.misses == 11
+
+    def test_directory_cross_check(self):
+        ledger = MissCauseLedger()
+        ledger.record_access("f", hit=False)
+        ledger.check_invariants(FakeDirectory(misses=1))
+        with pytest.raises(AssertionError, match="directory counted"):
+            ledger.check_invariants(FakeDirectory(misses=5))
+
+
+class TestReading:
+    def test_as_rows_covers_every_cause_in_order(self):
+        ledger = MissCauseLedger()
+        assert [cause for cause, _ in ledger.as_rows()] == list(MISS_CAUSES)
+
+    def test_top_fragments_sorted_with_breakdown(self):
+        ledger = MissCauseLedger()
+        for _ in range(3):
+            ledger.record_access("hot", hit=False)
+            ledger.record_removal("hot", "data_invalidated")
+        ledger.record_access("cool", hit=False)
+        top = ledger.top_fragments(2)
+        assert top[0][0] == "hot" and top[0][1] == 3
+        assert "data_invalidated" in top[0][2] and "cold" in top[0][2]
+        assert top[1][0] == "cool"
+
+    def test_metric_rows_are_canonical(self):
+        from repro.telemetry.naming import METRIC_NAMES
+
+        ledger = MissCauseLedger()
+        for name, _ in ledger.metric_rows():
+            assert name in METRIC_NAMES, name

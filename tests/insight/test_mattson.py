@@ -1,0 +1,144 @@
+"""Reuse-distance profiler: exactness, laziness, and the Fenwick tree."""
+
+import random
+
+import pytest
+
+from repro.insight.mattson import (
+    ReuseDistanceProfiler,
+    _FenwickTree,
+    simulate_lru,
+)
+
+
+class TestFenwick:
+    def test_matches_naive_prefix_sums(self):
+        rng = random.Random(11)
+        tree = _FenwickTree()
+        naive = [0] * 2001
+        for _ in range(3000):
+            position = rng.randint(1, 2000)
+            delta = rng.choice((-1, 1))
+            tree.add(position, delta)
+            naive[position] += delta
+            probe = rng.randint(0, 2000)
+            assert tree.prefix(probe) == sum(naive[: probe + 1])
+
+    def test_prefix_beyond_size_clamps(self):
+        tree = _FenwickTree()
+        tree.add(3, 5)
+        assert tree.prefix(10_000) == 5
+
+
+class TestProfiler:
+    def test_cold_misses(self):
+        profiler = ReuseDistanceProfiler()
+        for name in "abc":
+            profiler.on_access(name)
+        assert profiler.cold_misses == 3
+        assert profiler.predicted_hits(100) == 0
+
+    def test_distance_zero_reuse_hits_everywhere(self):
+        profiler = ReuseDistanceProfiler()
+        profiler.on_access("a")
+        profiler.on_access("a")
+        assert profiler.histogram == {0: 1}
+        assert profiler.predicted_hits(1) == 1
+
+    def test_interleaved_distances(self):
+        profiler = ReuseDistanceProfiler()
+        for name in ("a", "b", "a"):   # a reused across one distinct frag
+            profiler.on_access(name)
+        assert profiler.histogram == {1: 1}
+        assert profiler.predicted_hits(1) == 0
+        assert profiler.predicted_hits(2) == 1
+
+    def test_stale_in_place_misses_at_every_size(self):
+        profiler = ReuseDistanceProfiler()
+        profiler.on_access("a")
+        profiler.on_invalidate("a")
+        profiler.on_access("a")
+        assert profiler.stale_misses == 1
+        assert profiler.predicted_hits(10) == 0
+        # The next (valid) reuse still sees its stack position.
+        profiler.on_access("a")
+        assert profiler.predicted_hits(1) == 1
+
+    def test_invalidate_of_unknown_fragment_ignored(self):
+        profiler = ReuseDistanceProfiler(keep_events=True)
+        profiler.on_invalidate("ghost")
+        profiler.on_access("a")
+        assert profiler.events == [("access", "a")]
+        assert profiler.stale_misses == 0
+
+    def test_curve_is_monotone_nondecreasing(self):
+        rng = random.Random(5)
+        profiler = ReuseDistanceProfiler()
+        for _ in range(500):
+            profiler.on_access("f%d" % rng.randint(0, 30))
+            if rng.random() < 0.2:
+                profiler.on_invalidate("f%d" % rng.randint(0, 30))
+        curve = profiler.curve(range(1, 40))
+        ratios = [ratio for _, ratio in curve]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] == pytest.approx(profiler.asymptotic_hit_ratio())
+
+    def test_recommend_slots_reaches_fraction_of_asymptote(self):
+        rng = random.Random(6)
+        profiler = ReuseDistanceProfiler()
+        for _ in range(800):
+            profiler.on_access("f%d" % rng.randint(0, 40))
+        recommended = profiler.recommend_slots(fraction=0.95)
+        target = profiler.asymptotic_hit_ratio() * 0.95
+        assert profiler.predicted_hit_ratio(recommended) >= target
+        if recommended > 1:
+            assert profiler.predicted_hit_ratio(recommended - 1) < target
+
+    def test_lazy_folding_interleaves_with_feeding(self):
+        """Reads mid-stream fold only the prefix; resuming stays exact."""
+        eager = ReuseDistanceProfiler()
+        lazy = ReuseDistanceProfiler()
+        rng = random.Random(7)
+        stream = ["f%d" % rng.randint(0, 8) for _ in range(200)]
+        for index, name in enumerate(stream):
+            eager.on_access(name)
+            lazy.on_access(name)
+            if index % 17 == 0:
+                lazy.predicted_hits(4)  # force a mid-stream fold
+        assert lazy.histogram == eager.histogram
+        assert lazy.cold_misses == eager.cold_misses
+        assert lazy.accesses == eager.accesses
+
+    def test_events_none_unless_kept(self):
+        assert ReuseDistanceProfiler().events is None
+        assert ReuseDistanceProfiler(keep_events=True).events == []
+
+    def test_metric_rows_are_canonical(self):
+        from repro.telemetry.naming import METRIC_NAMES
+
+        profiler = ReuseDistanceProfiler()
+        for name, _ in profiler.metric_rows():
+            assert name in METRIC_NAMES, name
+
+
+class TestSimulateLru:
+    def test_matches_profiler_on_random_streams(self):
+        rng = random.Random(3)
+        profiler = ReuseDistanceProfiler(keep_events=True)
+        for _ in range(600):
+            if rng.random() < 0.75:
+                profiler.on_access("f%d" % rng.randint(0, 12))
+            else:
+                profiler.on_invalidate("f%d" % rng.randint(0, 12))
+        for num_slots in range(1, 16):
+            hits, accesses = simulate_lru(profiler.events, num_slots)
+            assert hits == profiler.predicted_hits(num_slots), num_slots
+            assert accesses == profiler.accesses
+
+    def test_rejects_nonpositive_slots(self):
+        with pytest.raises(ValueError):
+            simulate_lru([], 0)
+
+    def test_rejects_unknown_event_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            simulate_lru([("explode", "f")], 4)

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.core.fragments import FragmentID
 from repro.harness.reporting import format_table
 from repro.network.clock import SimulatedClock
 from repro.telemetry.export import (
@@ -11,7 +12,9 @@ from repro.telemetry.export import (
     registry_from_rows,
     render_metrics,
     render_span_tree,
+    span_from_dict,
     span_to_dict,
+    spans_from_json_lines,
     spans_to_json_lines,
     to_json_lines,
 )
@@ -110,3 +113,54 @@ class TestSpanExport:
     def test_render_span_tree_custom_indent(self):
         text = render_span_tree(build_trace(), indent="....")
         assert text.splitlines()[1].startswith("....bem.process")
+
+
+class TestSpanRoundTrip:
+    """span_from_dict / spans_from_json_lines invert the export exactly."""
+
+    def test_span_from_dict_inverts_to_dict(self):
+        record = span_to_dict(build_trace())
+        rebuilt = span_from_dict(record)
+        assert span_to_dict(rebuilt) == record
+
+    def test_rebuilt_tree_matches_structure(self):
+        root = build_trace()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert [s.name for s in rebuilt.walk()] == [s.name for s in root.walk()]
+        assert rebuilt.duration == pytest.approx(root.duration)
+        assert rebuilt.children[1].status == "failed"
+        assert rebuilt.meta == {"url": "/page.jsp"}
+
+    def test_json_lines_round_trip(self):
+        roots = [build_trace(), build_trace()]
+        text = spans_to_json_lines(roots)
+        rebuilt = spans_from_json_lines(text)
+        assert len(rebuilt) == 2
+        assert spans_to_json_lines(rebuilt) == text
+
+    def test_json_lines_skips_blank_lines(self):
+        text = spans_to_json_lines([build_trace()])
+        rebuilt = spans_from_json_lines("\n" + text + "\n\n")
+        assert len(rebuilt) == 1
+
+    def test_root_annotations_survive_the_round_trip(self):
+        """The exporter gap this PR closes: root meta is carried and parsed."""
+        clock = SimulatedClock()
+        tracer = Tracer(clock, enabled=True)
+        with tracer.span("request", url="/p.jsp", predicted_hit=True) as root:
+            clock.advance(0.001)
+        rebuilt = spans_from_json_lines(spans_to_json_lines([root]))[0]
+        assert rebuilt.meta == {"url": "/p.jsp", "predicted_hit": True}
+
+    def test_non_json_safe_meta_is_coerced_not_fatal(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock, enabled=True)
+        with tracer.span("request", frag=FragmentID.create("frag", {"id": 3}),
+                         depth=(1, 2)) as root:
+            clock.advance(0.001)
+        text = spans_to_json_lines([root])  # must not raise
+        rebuilt = spans_from_json_lines(text)[0]
+        assert rebuilt.meta["frag"] == str(FragmentID.create("frag", {"id": 3}))
+        assert rebuilt.meta["depth"] == [1, 2]
+        # A second export of the parsed tree is now a fixed point.
+        assert spans_to_json_lines([rebuilt]) == text

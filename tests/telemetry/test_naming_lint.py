@@ -15,9 +15,9 @@ from repro.network.clock import SimulatedClock
 from repro.overload import CircuitBreaker, DropLedger
 from repro.telemetry import Tracer
 from repro.telemetry.naming import (
-    DEPRECATED_ALIASES,
     METRIC_NAMES,
     _DROP_REASONS,
+    _MISS_CAUSES,
     valid_metric_name,
     validate_metric_name,
 )
@@ -50,21 +50,23 @@ class TestScheme:
         assert not valid_metric_name(name)
 
 
-class TestAliasesAndSync:
-    def test_aliases_map_old_to_canonical(self):
-        for old, canonical in DEPRECATED_ALIASES.items():
-            assert old not in METRIC_NAMES
-            assert canonical in METRIC_NAMES
-
+class TestSync:
     def test_drop_reasons_stay_in_sync_with_overload(self):
         from repro.overload.accounting import DROP_REASONS
 
         assert _DROP_REASONS == tuple(DROP_REASONS)
 
+    def test_miss_causes_stay_in_sync_with_insight(self):
+        from repro.insight.ledger import MISS_CAUSES
+
+        assert _MISS_CAUSES == tuple(MISS_CAUSES)
+
 
 class TestLiveCoverage:
     def test_full_snapshot_names_are_canonical(self):
         """Every name a fully-populated snapshot emits is in METRIC_NAMES."""
+        from repro.insight import InsightLayer, SloEngine, SloObjective
+
         clock = SimulatedClock()
         bem = BackEndMonitor(capacity=64, clock=clock)
         dpc = DynamicProxyCache(capacity=64)
@@ -79,6 +81,9 @@ class TestLiveCoverage:
             db=Database(),
             breaker=CircuitBreaker(),
             tracer=Tracer(clock),
+            insight=InsightLayer(),
+            slo=SloEngine([SloObjective(name="slo.demo", metric="demo.metric",
+                                        comparator="<=", threshold=1.0)]),
         )
         names = snapshot.names()
         unknown = [name for name in names if name not in METRIC_NAMES]

@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.database",
     "repro.faults",
     "repro.harness",
+    "repro.insight",
     "repro.network",
     "repro.overload",
     "repro.sites",
